@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Ablations of the substrate design choices DESIGN.md section 5 calls
+ * out — not paper experiments, but evidence for why the substrate is
+ * configured the way it is:
+ *
+ *   1. row-hit-first (FR-FCFS vs pure FCFS): the value of open-row
+ *      scheduling the whole paper builds on;
+ *   2. refresh modelling on/off: its throughput cost;
+ *   3. write-drain watermarks: batching writes vs interleaving them;
+ *   4. ATLAS aging threshold: the starvation valve that separates
+ *      "strict ranking" from "strict ranking with a safety net".
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace tcm;
+
+sim::AggregateResult
+evalConfig(const sim::SystemConfig &config, const sched::SchedulerSpec &spec,
+           const sim::ExperimentScale &scale, std::uint64_t seed)
+{
+    auto workloads = workload::workloadSet(scale.workloadsPerCategory,
+                                           config.numCores, 0.5, 9900);
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    return sim::evaluateSet(config, workloads, spec, scale, cache, seed);
+}
+
+void
+row(const char *label, const sim::AggregateResult &r)
+{
+    std::printf("%-34s WS=%6.2f  MS=%6.2f\n", label,
+                r.weightedSpeedup.mean(), r.maxSlowdown.mean());
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    bench::printHeader("Substrate ablations (50%-intensity workloads)",
+                       scale);
+
+    {
+        std::printf("-- row-hit-first scheduling --\n");
+        sim::SystemConfig config;
+        row("FR-FCFS (row-hit first)",
+            evalConfig(config, sched::SchedulerSpec::frfcfs(), scale, 1));
+        row("FCFS (arrival order only)",
+            evalConfig(config, sched::SchedulerSpec::fcfs(), scale, 1));
+    }
+
+    {
+        std::printf("\n-- refresh modelling --\n");
+        sim::SystemConfig config;
+        row("refresh on (tREFI/tRFC)",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 2));
+        config.timing.refreshEnabled = false;
+        row("refresh off",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 2));
+    }
+
+    {
+        std::printf("\n-- write-drain high watermark (cap 64) --\n");
+        for (int hi : {16, 48, 62}) {
+            sim::SystemConfig config;
+            config.controller.drainHighWatermark = hi;
+            config.controller.drainLowWatermark = hi / 3;
+            char label[48];
+            std::snprintf(label, sizeof(label), "drain at %d", hi);
+            row(label,
+                evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale,
+                           3));
+        }
+    }
+
+    {
+        std::printf("\n-- page policy (TCM) --\n");
+        sim::SystemConfig config;
+        row("open page (baseline)",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 8));
+        config.controller.pagePolicy = mem::PagePolicy::Closed;
+        row("smart closed page",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 8));
+    }
+
+    {
+        std::printf("\n-- DRAM generation (TCM) --\n");
+        sim::SystemConfig config;
+        row("DDR2-800 (Table 3)",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 9));
+        config.timing = dram::TimingParams::ddr3_1333();
+        row("DDR3-1333",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 9));
+    }
+
+    {
+        std::printf("\n-- rank organization, 8 banks/channel (TCM) --\n");
+        sim::SystemConfig config;
+        config.timing.banksPerChannel = 8;
+        config.timing.ranksPerChannel = 1;
+        row("1 rank x 8 banks",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 10));
+        config.timing.ranksPerChannel = 2;
+        row("2 ranks x 4 banks",
+            evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 10));
+    }
+
+    {
+        std::printf("\n-- extra baseline: fair queueing (FQM) --\n");
+        sim::SystemConfig config;
+        row("FQM (bandwidth fairness)",
+            evalConfig(config, sched::SchedulerSpec::fqmSpec(), scale, 5));
+        row("TCM", evalConfig(config, sched::SchedulerSpec::tcmSpec(),
+                              scale, 5));
+    }
+
+    {
+        std::printf("\n-- ATLAS aging threshold (starvation valve) --\n");
+        for (Cycle aging : {Cycle{25'000}, Cycle{100'000}, kCycleNever}) {
+            sim::SystemConfig config;
+            sched::SchedulerSpec spec = sched::SchedulerSpec::atlasSpec();
+            spec.atlas.agingThreshold = aging;
+            char label[48];
+            if (aging == kCycleNever)
+                std::snprintf(label, sizeof(label), "ATLAS aging=never");
+            else
+                std::snprintf(label, sizeof(label), "ATLAS aging=%lluK",
+                              static_cast<unsigned long long>(aging / 1000));
+            row(label, evalConfig(config, spec, scale, 4));
+        }
+    }
+
+    std::printf(
+        "\nreadings:\n"
+        " * FCFS ~ FR-FCFS here: a *work-conserving command-level* engine\n"
+        "   already exploits open rows structurally (a conflict's PRE is\n"
+        "   blocked by tRAS while row hits remain issuable), so the\n"
+        "   explicit row-hit tier matters mainly for priority ties.\n"
+        " * refresh costs a few percent of throughput, as expected.\n"
+        " * later write drains batch better (higher WS).\n"
+        " * smart-closed paging is WS-neutral under these mixes but\n"
+        "   costs fairness (reactivations hit locality-poor threads).\n"
+        " * DDR3-1333 (8 banks, faster burst) lifts WS and fairness:\n"
+        "   more banks = less inter-thread bank contention.\n"
+        " * splitting 8 banks across 2 ranks costs a little bandwidth\n"
+        "   (tRTRS turnarounds) for the same contention behaviour.\n"
+        " * FQM equalizes *bandwidth*, not *slowdown*: high WS, but the\n"
+        "   threads that need more service for equal progress suffer.\n"
+        " * ATLAS's unfairness is a bandwidth-share problem, not a\n"
+        "   request-age problem: tightening the aging valve bounds each\n"
+        "   request's wait but barely moves maximum slowdown.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 5: weighted speedup and maximum slowdown of all five
+ * schedulers on the four representative Table 5 workloads (A-D), plus
+ * the average over a set of 50%-intensity workloads.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+int
+main()
+{
+    using namespace tcm;
+
+    sim::SystemConfig config;
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    bench::printHeader("Figure 5: individual workloads A-D (Table 5)",
+                       scale);
+
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    auto schedulers = sim::paperSchedulers();
+
+    std::map<std::string, std::map<char, sim::RunResult>> results;
+    for (char w : {'A', 'B', 'C', 'D'}) {
+        auto mix = workload::tableFiveWorkload(w);
+        for (const auto &spec : schedulers)
+            results[spec.name()][w] =
+                sim::runWorkload(config, mix, spec, scale, cache, 30 + w);
+    }
+
+    // AVG column: mean over a set of random 50%-intensity workloads.
+    auto avgSet = workload::workloadSet(scale.workloadsPerCategory,
+                                        config.numCores, 0.5, 3500);
+    std::map<std::string, sim::AggregateResult> avg;
+    for (const auto &spec : schedulers)
+        avg[spec.name()] =
+            sim::evaluateSet(config, avgSet, spec, scale, cache, 77);
+
+    std::printf("\n(a) Weighted speedup\n");
+    std::printf("%-10s %8s %8s %8s %8s %8s\n", "scheduler", "A", "B", "C",
+                "D", "AVG");
+    for (const auto &spec : schedulers) {
+        std::printf("%-10s", spec.name());
+        for (char w : {'A', 'B', 'C', 'D'})
+            std::printf(" %8.2f",
+                        results[spec.name()][w].metrics.weightedSpeedup);
+        std::printf(" %8.2f\n", avg[spec.name()].weightedSpeedup.mean());
+    }
+
+    std::printf("\n(b) Maximum slowdown\n");
+    std::printf("%-10s %8s %8s %8s %8s %8s\n", "scheduler", "A", "B", "C",
+                "D", "AVG");
+    for (const auto &spec : schedulers) {
+        std::printf("%-10s", spec.name());
+        for (char w : {'A', 'B', 'C', 'D'})
+            std::printf(" %8.2f",
+                        results[spec.name()][w].metrics.maxSlowdown);
+        std::printf(" %8.2f\n", avg[spec.name()].maxSlowdown.mean());
+    }
+
+    std::printf("\npaper's reading: TCM's improvements are consistent "
+                "across individual workloads,\nnot an artifact of "
+                "averaging.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 7: system throughput and unfairness of all five
+ * schedulers as workload memory intensity rises from 25 % to 100 %.
+ *
+ * Paper's reading: TCM's advantage over PAR-BS and ATLAS grows with
+ * memory intensity; at 100 % intensity TCM improves weighted speedup by
+ * 7.4 % / 10.1 % and maximum slowdown by 5.8 % / 48.6 % over PAR-BS /
+ * ATLAS respectively.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+int
+main()
+{
+    using namespace tcm;
+
+    sim::SystemConfig config;
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    bench::printHeader("Figure 7: effect of workload memory intensity",
+                       scale);
+
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    auto schedulers = sim::paperSchedulers();
+    const double intensities[] = {0.25, 0.5, 0.75, 1.0};
+
+    std::map<std::string, std::map<int, sim::AggregateResult>> results;
+    for (double intensity : intensities) {
+        auto wl = workload::workloadSet(scale.workloadsPerCategory,
+                                        config.numCores, intensity,
+                                        5000 + static_cast<int>(
+                                                   intensity * 100));
+        for (const auto &spec : schedulers)
+            results[spec.name()][static_cast<int>(intensity * 100)] =
+                sim::evaluateSet(config, wl, spec, scale, cache, 3);
+    }
+
+    std::printf("\n(a) System throughput (weighted speedup)\n");
+    std::printf("%-10s %8s %8s %8s %8s\n", "scheduler", "25%", "50%",
+                "75%", "100%");
+    for (const auto &spec : schedulers) {
+        std::printf("%-10s", spec.name());
+        for (double intensity : intensities)
+            std::printf(" %8.2f",
+                        results[spec.name()]
+                               [static_cast<int>(intensity * 100)]
+                                   .weightedSpeedup.mean());
+        std::printf("\n");
+    }
+
+    std::printf("\n(b) Unfairness (maximum slowdown)\n");
+    std::printf("%-10s %8s %8s %8s %8s\n", "scheduler", "25%", "50%",
+                "75%", "100%");
+    for (const auto &spec : schedulers) {
+        std::printf("%-10s", spec.name());
+        for (double intensity : intensities)
+            std::printf(" %8.2f",
+                        results[spec.name()]
+                               [static_cast<int>(intensity * 100)]
+                                   .maxSlowdown.mean());
+        std::printf("\n");
+    }
+
+    auto &tcm100 = results["TCM"][100];
+    auto &atlas100 = results["ATLAS"][100];
+    auto &parbs100 = results["PAR-BS"][100];
+    std::printf("\nat 100%% intensity, TCM vs ATLAS:  WS %+.1f%% (paper "
+                "+10.1%%), MS %+.1f%% (paper -48.6%%)\n",
+                100.0 * (tcm100.weightedSpeedup.mean() /
+                             atlas100.weightedSpeedup.mean() -
+                         1.0),
+                100.0 * (tcm100.maxSlowdown.mean() /
+                             atlas100.maxSlowdown.mean() -
+                         1.0));
+    std::printf("at 100%% intensity, TCM vs PAR-BS: WS %+.1f%% (paper "
+                "+7.4%%),  MS %+.1f%% (paper -5.8%%)\n",
+                100.0 * (tcm100.weightedSpeedup.mean() /
+                             parbs100.weightedSpeedup.mean() -
+                         1.0),
+                100.0 * (tcm100.maxSlowdown.mean() /
+                             parbs100.maxSlowdown.mean() -
+                         1.0));
+    return 0;
+}

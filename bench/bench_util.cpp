@@ -1,0 +1,36 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace tcm::bench {
+
+void
+printHeader(const std::string &title, const sim::ExperimentScale &scale)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("scale: warmup=%llu measure=%llu cycles, %d workloads/category\n",
+                static_cast<unsigned long long>(scale.warmup),
+                static_cast<unsigned long long>(scale.measure),
+                scale.workloadsPerCategory);
+    std::printf("(override with TCMSIM_WARMUP / TCMSIM_CYCLES / TCMSIM_WORKLOADS)\n");
+    std::printf("==============================================================\n");
+}
+
+void
+printAggregate(const sim::AggregateResult &r)
+{
+    std::printf("%-10s  WS=%6.2f  MS=%6.2f  HS=%6.3f\n", r.scheduler.c_str(),
+                r.weightedSpeedup.mean(), r.maxSlowdown.mean(),
+                r.harmonicSpeedup.mean());
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace tcm::bench

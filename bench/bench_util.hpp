@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared formatting and setup helpers for the reproduction benches.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace tcm::bench {
+
+/** Print the standard bench banner with the experiment scale in use. */
+void printHeader(const std::string &title, const sim::ExperimentScale &scale);
+
+/** Print one "name: WS=.. MS=.. HS=.." row. */
+void printAggregate(const sim::AggregateResult &r);
+
+/** Markdown-ish table row helpers. */
+std::string fmt(double v, int precision = 2);
+
+} // namespace tcm::bench

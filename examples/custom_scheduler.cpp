@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Example: writing a custom memory scheduler against the public
+ * SchedulerPolicy interface and racing it against TCM.
+ *
+ * The custom policy here is a tiny "bank-fair round-robin": every 10K
+ * cycles it rotates a fixed thread priority order. It demonstrates the
+ * three integration points a scheduler implementor uses:
+ *
+ *   1. configure()  - learn the system shape,
+ *   2. tick()       - advance internal state once per cycle,
+ *   3. rankOf()     - publish thread ranks the controller's fixed
+ *                     prioritization engine (Algorithm 3) consumes.
+ *
+ * Everything else — DRAM timing, row hits, write drains, starvation
+ * tiers — is handled by the controller.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "sim/alone_cache.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace tcm;
+
+/** Rotate thread priorities every interval: simple, starvation-free. */
+class RotatingPriority : public mem::SchedulerPolicy
+{
+  public:
+    explicit RotatingPriority(Cycle interval) : interval_(interval) {}
+
+    const char *name() const override { return "RotatingPriority"; }
+
+    void
+    configure(int numThreads, int numChannels, int banksPerChannel) override
+    {
+        mem::SchedulerPolicy::configure(numThreads, numChannels,
+                                        banksPerChannel);
+        ranks_.resize(numThreads);
+        std::iota(ranks_.begin(), ranks_.end(), 0);
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        if (now >= nextRotateAt_) {
+            std::rotate(ranks_.begin(), ranks_.begin() + 1, ranks_.end());
+            nextRotateAt_ = now + interval_;
+        }
+    }
+
+    int rankOf(ChannelId, ThreadId t) const override { return ranks_[t]; }
+
+  private:
+    Cycle interval_;
+    Cycle nextRotateAt_ = 0;
+    std::vector<int> ranks_;
+};
+
+} // namespace
+
+int
+main()
+{
+    sim::SystemConfig config;
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    sim::AloneIpcCache alone(config, scale.warmup, scale.measure);
+
+    auto mix = workload::randomMix(config.numCores, 0.75, 9);
+
+    // The custom policy is driven directly through the Simulator, which
+    // accepts any SchedulerPolicy via the FixedRank escape hatch — here
+    // we build the simulation by hand to show the full wiring.
+    std::printf("%-18s %18s %15s\n", "scheduler", "weighted speedup",
+                "max slowdown");
+
+    // Reference points through the standard experiment driver.
+    for (auto spec : {sched::SchedulerSpec::frfcfs(),
+                      sched::SchedulerSpec::tcmSpec()}) {
+        sim::RunResult r =
+            sim::runWorkload(config, mix, spec, scale, alone, 3);
+        std::printf("%-18s %18.2f %15.2f\n", spec.name(),
+                    r.metrics.weightedSpeedup, r.metrics.maxSlowdown);
+    }
+
+    // Hand-wired simulation with the custom policy.
+    RotatingPriority custom(10'000);
+    custom.configure(config.numCores, config.numChannels,
+                     config.timing.banksPerChannel);
+
+    std::vector<mem::CoreCounters> counters(config.numCores);
+    custom.setCoreCounters(&counters);
+
+    std::vector<std::unique_ptr<mem::MemoryController>> controllers;
+    std::vector<mem::MemoryController *> mcs;
+    for (ChannelId ch = 0; ch < config.numChannels; ++ch) {
+        controllers.push_back(std::make_unique<mem::MemoryController>(
+            ch, config.timing, config.controller, custom));
+        custom.attachQueue(ch, controllers.back().get());
+        mcs.push_back(controllers.back().get());
+    }
+
+    std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
+    std::vector<std::unique_ptr<core::Core>> cores;
+    for (ThreadId t = 0; t < config.numCores; ++t) {
+        traces.push_back(std::make_unique<workload::SyntheticTrace>(
+            mix[t], config.geometry(), 1000 + t));
+        cores.push_back(std::make_unique<core::Core>(
+            t, config.core, *traces.back(), mcs, &counters[t]));
+    }
+
+    std::vector<std::uint64_t> base(config.numCores, 0);
+    for (Cycle now = 0; now < scale.warmup + scale.measure; ++now) {
+        if (now == scale.warmup)
+            for (ThreadId t = 0; t < config.numCores; ++t)
+                base[t] = counters[t].instructions;
+        custom.tick(now);
+        for (auto &mc : controllers) {
+            mc->tick(now);
+            for (const auto &c : mc->completions())
+                cores[c.thread]->completeMiss(c.missId, c.readyAt);
+            mc->completions().clear();
+        }
+        for (auto &core : cores)
+            core->tick(now);
+    }
+
+    std::vector<double> ipcShared, ipcAlone;
+    for (ThreadId t = 0; t < config.numCores; ++t) {
+        ipcShared.push_back(
+            static_cast<double>(counters[t].instructions - base[t]) /
+            static_cast<double>(scale.measure));
+        ipcAlone.push_back(alone.aloneIpc(mix[t]));
+    }
+    metrics::WorkloadMetrics m = metrics::computeMetrics(ipcAlone, ipcShared);
+    std::printf("%-18s %18.2f %15.2f\n", custom.name(), m.weightedSpeedup,
+                m.maxSlowdown);
+
+    std::printf("\nRotatingPriority is starvation-free but thread-"
+                "oblivious: decent fairness,\nno latency-cluster boost — "
+                "compare its WS against TCM's.\n");
+    return 0;
+}

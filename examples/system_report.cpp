@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Example: full post-run reporting — per-thread IPC/behaviour/latency
+ * percentiles and per-channel utilization/power, printed and exported
+ * to CSV for external plotting.
+ *
+ * The per-thread p99 latency column makes the fairness story concrete:
+ * compare how far the tail latency of the most intensive thread spreads
+ * under ATLAS vs TCM.
+ */
+
+#include <cstdio>
+
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mixes.hpp"
+
+int
+main()
+{
+    using namespace tcm;
+
+    sim::SystemConfig config;
+    auto mix = workload::tableFiveWorkload('A');
+    std::vector<std::string> names;
+    for (const auto &p : mix)
+        names.push_back(p.name);
+
+    for (auto spec : {sched::SchedulerSpec::atlasSpec(),
+                      sched::SchedulerSpec::tcmSpec()}) {
+        spec.scaleToRun(300'000);
+        sim::Simulator sim(config, mix, spec, /*seed=*/7,
+                           /*enableProbe=*/true);
+        sim.run(50'000, 300'000);
+
+        sim::SystemReport report = sim::SystemReport::collect(sim, names);
+        report.print(stdout);
+
+        std::string prefix =
+            std::string("/tmp/tcmsim_report_") + spec.name();
+        report.writeCsv(prefix);
+        std::printf("csv written to %s_threads.csv / %s_channels.csv\n\n",
+                    prefix.c_str(), prefix.c_str());
+    }
+    std::printf("note how the heaviest threads' p99 latency explodes "
+                "under ATLAS's strict\nranking but stays bounded under "
+                "TCM's shuffling.\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace tcm {
+
+std::int64_t
+envInt(const std::string &name, std::int64_t def)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v)
+        return def;
+    return static_cast<std::int64_t>(parsed);
+}
+
+double
+envDouble(const std::string &name, double def)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v)
+        return def;
+    return parsed;
+}
+
+} // namespace tcm

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Small helpers for reading experiment-scaling knobs from the environment.
+ *
+ * Benches use these so that a CI machine can run short experiments while a
+ * beefier host can scale toward the paper's full 100M-cycle, 96-workload
+ * setup by exporting TCMSIM_CYCLES / TCMSIM_WORKLOADS / TCMSIM_WARMUP.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcm {
+
+/** Read an integer environment variable, with default when unset/bad. */
+std::int64_t envInt(const std::string &name, std::int64_t def);
+
+/** Read a double environment variable, with default when unset/bad. */
+double envDouble(const std::string &name, double def);
+
+} // namespace tcm

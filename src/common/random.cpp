@@ -1,0 +1,72 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace tcm {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    next();
+    state_ += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t
+Pcg32::nextBelow(std::uint32_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Debiased modulo (Lemire-style rejection).
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+        std::uint32_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Pcg32::nextDouble()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Pcg32::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Pcg32::nextGeometric(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    double p = 1.0 / (mean + 1.0);
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u >= 1.0)
+        u = 0.9999999999;
+    double g = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (g < 0.0)
+        g = 0.0;
+    return static_cast<std::uint64_t>(g);
+}
+
+} // namespace tcm

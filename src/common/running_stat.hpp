@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace tcm {
+
+/**
+ * Accumulates samples and reports count, mean, (population) variance and
+ * standard deviation without storing the samples.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x > max_ || n_ == 1)
+            max_ = x;
+        if (x < min_ || n_ == 1)
+            min_ = x;
+    }
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return m2_ / static_cast<double>(n_);
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double max_ = 0.0;
+    double min_ = 0.0;
+};
+
+} // namespace tcm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tcm {
+
+/** Simulation time, measured in CPU cycles (5 GHz => 0.2 ns per cycle). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "never" / "not yet scheduled". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Identifies a hardware thread / core. */
+using ThreadId = std::int32_t;
+
+/** Sentinel thread id for "no thread". */
+inline constexpr ThreadId kNoThread = -1;
+
+/** Identifies a memory channel (one controller per channel). */
+using ChannelId = std::int32_t;
+
+/** Identifies a bank within one channel. */
+using BankId = std::int32_t;
+
+/** DRAM row index within a bank. */
+using RowId = std::int32_t;
+
+/** Sentinel row id for "no row open". */
+inline constexpr RowId kNoRow = -1;
+
+/** DRAM column (cache-block granularity) within a row. */
+using ColId = std::int32_t;
+
+} // namespace tcm

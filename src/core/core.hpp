@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Simplified out-of-order core model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/trace.hpp"
+#include "mem/controller.hpp"
+#include "mem/sched_iface.hpp"
+
+namespace tcm::core {
+
+/** Core pipeline parameters (Table 3). */
+struct CoreParams
+{
+    int windowSize = 128;      //!< instruction window entries
+    int fetchWidth = 3;        //!< instructions fetched per cycle
+    int retireWidth = 3;       //!< instructions retired per cycle
+    int maxMemPerCycle = 1;    //!< memory operations issued per cycle
+};
+
+/**
+ * Models one hardware thread the way memory-scheduling studies do: a
+ * 128-entry window retiring 3 instructions per cycle in order, where
+ * non-miss instructions always complete and L2-miss loads block
+ * retirement until DRAM responds. Writebacks are posted: they consume a
+ * fetch slot and write-buffer capacity but never stall retirement.
+ *
+ * This captures the two behaviours that matter to a memory scheduler:
+ * memory-non-intensive threads progress at ~3 IPC and stall completely on
+ * a rare miss (latency-sensitive), while memory-intensive threads keep
+ * many misses in flight and their throughput tracks DRAM service rate
+ * (bandwidth-sensitive).
+ */
+class Core
+{
+  public:
+    /**
+     * @param id this thread's id
+     * @param params pipeline widths
+     * @param trace the instruction stream to execute
+     * @param controllers channel-indexed memory controllers
+     * @param counters externally owned counter slot (simulator-owned so
+     *        schedulers can read all cores' counters as one vector)
+     */
+    Core(ThreadId id, const CoreParams &params, TraceSource &trace,
+         std::vector<mem::MemoryController *> controllers,
+         mem::CoreCounters *counters);
+
+    /** Advance one cycle: retire, then fetch/issue. */
+    void tick(Cycle now);
+
+    /** DRAM data for @p missId will be available at @p readyAt. */
+    void completeMiss(std::uint64_t missId, Cycle readyAt);
+
+    ThreadId id() const { return id_; }
+
+    std::uint64_t instructionsRetired() const { return counters_->instructions; }
+    std::uint64_t readMissesIssued() const { return counters_->readMisses; }
+
+    /** Instructions currently occupying the window (tests). */
+    int windowOccupancy() const { return occupancy_; }
+
+  private:
+    /** A window entry: either a bundle of plain instructions or a miss. */
+    struct Entry
+    {
+        std::uint32_t plain; //!< >0: bundle size; ==0: miss entry
+        std::uint64_t missId;
+    };
+
+    void retire(Cycle now);
+    void fetch(Cycle now);
+
+    ThreadId id_;
+    CoreParams params_;
+    TraceSource *trace_;
+    std::vector<mem::MemoryController *> controllers_;
+    mem::CoreCounters *counters_;
+
+    std::deque<Entry> window_;
+    int occupancy_ = 0;
+
+    // Completion times for misses whose data has been scheduled.
+    std::unordered_map<std::uint64_t, Cycle> done_;
+    std::uint64_t nextMissId_ = 1;
+
+    // Trace cursor: pendingGap_ plain instructions precede pendingAccess_.
+    std::uint64_t pendingGap_ = 0;
+    MemAccess pendingAccess_;
+    bool havePending_ = false;
+};
+
+} // namespace tcm::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The instruction-stream abstraction a core executes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tcm::core {
+
+/** One memory access in DRAM coordinates. */
+struct MemAccess
+{
+    bool isWrite = false;
+    ChannelId channel = 0;
+    BankId bank = 0;
+    RowId row = 0;
+    ColId col = 0;
+};
+
+/**
+ * One trace item: @p gap non-memory instructions followed by one memory
+ * access. A read access is itself an instruction (the missing load); a
+ * write access models a dirty writeback and is *not* an instruction.
+ */
+struct TraceItem
+{
+    std::uint64_t gap = 0;
+    MemAccess access;
+};
+
+/**
+ * An infinite, deterministic instruction stream. Implementations must be
+ * pure functions of their construction parameters: the same object state
+ * yields the same sequence regardless of simulation timing, which is what
+ * makes alone-run IPC comparable to shared-run IPC.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next item. Never ends. */
+    virtual TraceItem next() = 0;
+};
+
+} // namespace tcm::core

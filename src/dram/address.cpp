@@ -1,0 +1,47 @@
+#include "dram/address.hpp"
+
+namespace tcm::dram {
+
+AddressMap::AddressMap(const TimingParams &timing, int numChannels,
+                       int blockBytes)
+    : numChannels_(numChannels),
+      banksPerChannel_(timing.banksPerChannel),
+      rowsPerBank_(timing.rowsPerBank),
+      colsPerRow_(timing.colsPerRow),
+      blockBytes_(blockBytes)
+{
+}
+
+Coord
+AddressMap::decode(std::uint64_t byteAddr) const
+{
+    std::uint64_t block = byteAddr / blockBytes_;
+    Coord c{};
+    c.channel = static_cast<ChannelId>(block % numChannels_);
+    block /= numChannels_;
+    c.bank = static_cast<BankId>(block % banksPerChannel_);
+    block /= banksPerChannel_;
+    c.col = static_cast<ColId>(block % colsPerRow_);
+    block /= colsPerRow_;
+    c.row = static_cast<RowId>(block % rowsPerBank_);
+    return c;
+}
+
+std::uint64_t
+AddressMap::encode(const Coord &coord) const
+{
+    std::uint64_t block = static_cast<std::uint64_t>(coord.row);
+    block = block * colsPerRow_ + coord.col;
+    block = block * banksPerChannel_ + coord.bank;
+    block = block * numChannels_ + coord.channel;
+    return block * blockBytes_;
+}
+
+std::uint64_t
+AddressMap::capacityBytes() const
+{
+    return static_cast<std::uint64_t>(numChannels_) * banksPerChannel_ *
+           rowsPerBank_ * colsPerRow_ * blockBytes_;
+}
+
+} // namespace tcm::dram

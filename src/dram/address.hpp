@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Physical-address <-> (channel, bank, row, column) interleaving.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace tcm::dram {
+
+/** A fully decoded DRAM coordinate. */
+struct Coord
+{
+    ChannelId channel;
+    BankId bank;
+    RowId row;
+    ColId col;
+
+    bool
+    operator==(const Coord &o) const
+    {
+        return channel == o.channel && bank == o.bank && row == o.row &&
+               col == o.col;
+    }
+};
+
+/**
+ * Cache-block-interleaved address map: consecutive 32-byte blocks walk
+ * channels first, then banks, then columns, then rows
+ * (`row : col : bank : channel : block-offset` from MSB to LSB). This is
+ * the standard interleave that spreads streams across channels and banks
+ * for bandwidth while keeping row locality within a bank.
+ */
+class AddressMap
+{
+  public:
+    AddressMap(const TimingParams &timing, int numChannels,
+               int blockBytes = 32);
+
+    /** Decode a byte address into DRAM coordinates. */
+    Coord decode(std::uint64_t byteAddr) const;
+
+    /** Encode coordinates back into the base byte address of the block. */
+    std::uint64_t encode(const Coord &coord) const;
+
+    /** Total addressable bytes across all channels. */
+    std::uint64_t capacityBytes() const;
+
+    int numChannels() const { return numChannels_; }
+    int blockBytes() const { return blockBytes_; }
+
+  private:
+    int numChannels_;
+    int banksPerChannel_;
+    int rowsPerBank_;
+    int colsPerRow_;
+    int blockBytes_;
+};
+
+} // namespace tcm::dram

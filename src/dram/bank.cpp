@@ -1,0 +1,107 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::dram {
+
+Bank::Bank(const TimingParams &timing) : timing_(&timing)
+{
+}
+
+bool
+Bank::canActivate(Cycle now) const
+{
+    return precharged() && now >= actAllowedAt_;
+}
+
+bool
+Bank::canRead(Cycle now) const
+{
+    return !precharged() && now >= rdAllowedAt_;
+}
+
+bool
+Bank::canWrite(Cycle now) const
+{
+    return !precharged() && now >= wrAllowedAt_;
+}
+
+bool
+Bank::canPrecharge(Cycle now) const
+{
+    return !precharged() && now >= preAllowedAt_;
+}
+
+Cycle
+Bank::activate(Cycle now, RowId row)
+{
+    assert(canActivate(now));
+    assert(row != kNoRow);
+    openRow_ = row;
+    rdAllowedAt_ = now + timing_->tRCD;
+    wrAllowedAt_ = now + timing_->tRCD;
+    preAllowedAt_ = now + timing_->tRAS;
+    actAllowedAt_ = now + timing_->tRC;
+    return timing_->tRCD;
+}
+
+Cycle
+Bank::read(Cycle now)
+{
+    assert(canRead(now));
+    preAllowedAt_ = std::max(preAllowedAt_, now + timing_->tRTP);
+    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD);
+    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD);
+    return timing_->tBURST;
+}
+
+Cycle
+Bank::write(Cycle now)
+{
+    assert(canWrite(now));
+    Cycle data_end = now + timing_->tCWL + timing_->tBURST;
+    preAllowedAt_ = std::max(preAllowedAt_, data_end + timing_->tWR);
+    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD);
+    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD);
+    return timing_->tBURST;
+}
+
+Cycle
+Bank::precharge(Cycle now)
+{
+    assert(canPrecharge(now));
+    openRow_ = kNoRow;
+    actAllowedAt_ = std::max(actAllowedAt_, now + timing_->tRP);
+    return timing_->tRP;
+}
+
+void
+Bank::refresh(Cycle now)
+{
+    assert(precharged());
+    actAllowedAt_ = std::max(actAllowedAt_, now + timing_->tRFC);
+}
+
+Cycle
+Bank::autoPrecharge()
+{
+    assert(!precharged());
+    openRow_ = kNoRow;
+    // The implicit precharge starts once tRAS/tRTP/tWR are satisfied
+    // (all folded into preAllowedAt_) and takes tRP.
+    actAllowedAt_ = std::max(actAllowedAt_, preAllowedAt_ + timing_->tRP);
+    return timing_->tRP;
+}
+
+Cycle
+Bank::earliestUseful(RowId row) const
+{
+    if (precharged())
+        return actAllowedAt_;
+    if (openRow_ == row)
+        return rdAllowedAt_;
+    return preAllowedAt_;
+}
+
+} // namespace tcm::dram

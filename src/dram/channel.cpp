@@ -1,0 +1,158 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::dram {
+
+Channel::Channel(const TimingParams &timing) : timing_(&timing)
+{
+    assert(timing.banksPerChannel % timing.ranksPerChannel == 0);
+    ranks_.reserve(timing.ranksPerChannel);
+    for (int r = 0; r < timing.ranksPerChannel; ++r)
+        ranks_.emplace_back(timing);
+    banks_.reserve(timing.banksPerChannel);
+    for (int i = 0; i < timing.banksPerChannel; ++i)
+        banks_.emplace_back(timing);
+}
+
+bool
+Channel::canIssue(CommandKind kind, BankId b, Cycle now) const
+{
+    if (!cmdBusFree(now))
+        return false;
+    const Bank &bank = banks_[b];
+    const Rank &rank = ranks_[rankOf(b)];
+    switch (kind) {
+      case CommandKind::Activate:
+        return bank.canActivate(now) && rank.canActivate(now);
+      case CommandKind::Read: {
+        Cycle data_start = now + timing_->tCL;
+        Cycle bus_free = dataBusFreeAt_;
+        if (lastBurstRank_ >= 0 && lastBurstRank_ != rankOf(b))
+            bus_free += timing_->tRTRS;
+        return bank.canRead(now) && rank.canRead(now) &&
+               now >= colCmdAllowedAt_ && data_start >= bus_free;
+      }
+      case CommandKind::Write: {
+        Cycle data_start = now + timing_->tCWL;
+        Cycle bus_free = dataBusFreeAt_;
+        if (lastBurstRank_ >= 0 && lastBurstRank_ != rankOf(b))
+            bus_free += timing_->tRTRS;
+        return bank.canWrite(now) && now >= colCmdAllowedAt_ &&
+               data_start >= bus_free;
+      }
+      case CommandKind::Precharge:
+        return bank.canPrecharge(now);
+      case CommandKind::Refresh:
+        return rankPrecharged(rankOf(b));
+    }
+    return false;
+}
+
+IssueResult
+Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
+{
+    assert(canIssue(kind, b, now));
+    IssueResult res{};
+    Bank &bank = banks_[b];
+    Rank &rank = ranks_[rankOf(b)];
+    cmdBusFreeAt_ = now + timing_->tCK;
+    switch (kind) {
+      case CommandKind::Activate:
+        res.occupancy = bank.activate(now, row);
+        rank.recordActivate(now);
+        break;
+      case CommandKind::Read:
+        res.occupancy = bank.read(now);
+        res.dataStart = now + timing_->tCL;
+        res.dataEnd = res.dataStart + timing_->tBURST;
+        dataBusFreeAt_ = res.dataEnd;
+        colCmdAllowedAt_ = now + timing_->tCCD;
+        lastBurstRank_ = rankOf(b);
+        break;
+      case CommandKind::Write:
+        res.occupancy = bank.write(now);
+        rank.recordWrite(now);
+        res.dataStart = now + timing_->tCWL;
+        res.dataEnd = res.dataStart + timing_->tBURST;
+        dataBusFreeAt_ = res.dataEnd;
+        colCmdAllowedAt_ = now + timing_->tCCD;
+        lastBurstRank_ = rankOf(b);
+        break;
+      case CommandKind::Precharge:
+        res.occupancy = bank.precharge(now);
+        break;
+      case CommandKind::Refresh: {
+        int r = rankOf(b);
+        int base = r * timing_->banksPerRank();
+        for (int i = 0; i < timing_->banksPerRank(); ++i)
+            banks_[base + i].refresh(now);
+        res.occupancy = timing_->tRFC;
+        break;
+      }
+    }
+    return res;
+}
+
+bool
+Channel::allBanksPrecharged() const
+{
+    return std::all_of(banks_.begin(), banks_.end(),
+                       [](const Bank &b) { return b.precharged(); });
+}
+
+bool
+Channel::rankPrecharged(int rank) const
+{
+    int base = rank * timing_->banksPerRank();
+    for (int i = 0; i < timing_->banksPerRank(); ++i)
+        if (!banks_[base + i].precharged())
+            return false;
+    return true;
+}
+
+Cycle
+Channel::earliestIssue(CommandKind kind, BankId b) const
+{
+    const Bank &bank = banks_[b];
+    const Rank &rank = ranks_[rankOf(b)];
+    Cycle rtrs = lastBurstRank_ >= 0 && lastBurstRank_ != rankOf(b)
+                     ? timing_->tRTRS
+                     : 0;
+    Cycle t = cmdBusFreeAt_;
+    switch (kind) {
+      case CommandKind::Activate:
+        if (!bank.precharged())
+            return kCycleNever;
+        t = std::max(t, bank.actAllowedAt());
+        t = std::max(t, rank.earliestActivate());
+        return t;
+      case CommandKind::Read:
+        if (bank.precharged())
+            return kCycleNever;
+        t = std::max(t, bank.rdAllowedAt());
+        t = std::max(t, rank.earliestRead());
+        t = std::max(t, colCmdAllowedAt_);
+        if (dataBusFreeAt_ + rtrs > timing_->tCL)
+            t = std::max(t, dataBusFreeAt_ + rtrs - timing_->tCL);
+        return t;
+      case CommandKind::Write:
+        if (bank.precharged())
+            return kCycleNever;
+        t = std::max(t, bank.wrAllowedAt());
+        t = std::max(t, colCmdAllowedAt_);
+        if (dataBusFreeAt_ + rtrs > timing_->tCWL)
+            t = std::max(t, dataBusFreeAt_ + rtrs - timing_->tCWL);
+        return t;
+      case CommandKind::Precharge:
+        if (bank.precharged())
+            return kCycleNever;
+        return std::max(t, bank.preAllowedAt());
+      case CommandKind::Refresh:
+        return rankPrecharged(rankOf(b)) ? t : kCycleNever;
+    }
+    return kCycleNever;
+}
+
+} // namespace tcm::dram

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One DRAM channel: one or more ranks of banks plus shared command and
+ * data buses.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/bank.hpp"
+#include "dram/command.hpp"
+#include "dram/rank.hpp"
+#include "dram/timing.hpp"
+
+namespace tcm::dram {
+
+/**
+ * Aggregates bank, rank and bus constraints behind a single
+ * `canIssue`/`issue` interface the memory controller drives. One command
+ * may occupy the command bus per tCK; read/write data bursts occupy the
+ * shared data bus (with a tRTRS gap when consecutive bursts come from
+ * different ranks); tCCD separates column commands channel-wide.
+ *
+ * Banks are numbered contiguously across ranks: bank ids
+ * [r * banksPerRank, (r+1) * banksPerRank) belong to rank r. Rank-level
+ * constraints (tRRD, tFAW, tWTR) and refresh apply per rank.
+ */
+class Channel
+{
+  public:
+    explicit Channel(const TimingParams &timing);
+
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+    int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+    const Bank &bank(BankId b) const { return banks_[b]; }
+
+    /** Rank that bank @p b belongs to. */
+    int rankOf(BankId b) const { return b / timing_->banksPerRank(); }
+
+    /** True if the command bus can accept a command at @p now. */
+    bool cmdBusFree(Cycle now) const { return now >= cmdBusFreeAt_; }
+
+    /**
+     * True if command @p kind targeting bank @p b (row match for RD/WR
+     * is the caller's concern) is legal at @p now, including bank, rank
+     * and bus constraints. For Refresh, @p b names any bank of the rank
+     * to refresh. The command bus must also be free (checked here).
+     */
+    bool canIssue(CommandKind kind, BankId b, Cycle now) const;
+
+    /**
+     * Issue the command; asserts `canIssue`. For ACT, @p row names the row
+     * to open. Returns occupancy/data-window info for attribution.
+     */
+    IssueResult issue(CommandKind kind, BankId b, RowId row, Cycle now);
+
+    /**
+     * Auto-precharge rider on the column command just issued to @p b
+     * (closed-page policy). Returns the precharge occupancy (tRP).
+     */
+    Cycle autoPrecharge(BankId b) { return banks_[b].autoPrecharge(); }
+
+    /** True when every bank in every rank is precharged. */
+    bool allBanksPrecharged() const;
+
+    /** True when every bank of rank @p rank is precharged. */
+    bool rankPrecharged(int rank) const;
+
+    /**
+     * Lower bound on the first cycle at which @p kind could issue to
+     * bank @p b, assuming no further commands issue in between. Never
+     * later than the true time, so a scheduler may sleep until it.
+     * Returns kCycleNever when the command is ineligible regardless of
+     * time (e.g. RD to a precharged bank).
+     */
+    Cycle earliestIssue(CommandKind kind, BankId b) const;
+
+  private:
+    const TimingParams *timing_;
+    std::vector<Rank> ranks_;
+    std::vector<Bank> banks_;
+    Cycle cmdBusFreeAt_ = 0;
+    Cycle dataBusFreeAt_ = 0;
+    Cycle colCmdAllowedAt_ = 0; //!< channel-wide tCCD
+    int lastBurstRank_ = -1;    //!< for the tRTRS rank-switch gap
+};
+
+} // namespace tcm::dram

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DRAM energy accounting in the DRAMSim/DRAMPower style: per-command
+ * energies plus background power, driven by command counts.
+ *
+ * The constants are DDR2-800 1Gb-x8 DIMM ballparks derived from the
+ * Micron DDR2 power calculator (IDD0/IDD4/IDD5 windows at 1.8 V, eight
+ * chips per DIMM). They are deliberately round figures: this model ranks
+ * scheduler energy behaviour (row hits vs conflicts, refresh overhead),
+ * it does not claim millijoule-accurate absolute numbers.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tcm::dram {
+
+/** Command counts over a measurement window (one channel). */
+struct CommandCounts
+{
+    std::uint64_t activates = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t bankBusyCycles = 0;
+};
+
+/** Per-command energies (picojoules) and background power (milliwatts). */
+struct EnergyParams
+{
+    double eActPre = 15'000.0;  //!< one ACT/PRE pair (row cycle)
+    double eRead = 10'000.0;    //!< one column read burst
+    double eWrite = 11'000.0;   //!< one column write burst
+    double eRefresh = 35'000.0; //!< one all-bank refresh
+    double pBackgroundActive = 750.0; //!< mW while banks are busy
+    double pBackgroundIdle = 400.0;   //!< mW otherwise (standby)
+
+    /** DDR2-800 DIMM defaults (see file comment). */
+    static EnergyParams ddr2_800() { return EnergyParams{}; }
+};
+
+/** Energy breakdown for one channel over a measurement window. */
+struct EnergyBreakdown
+{
+    double activatePj = 0.0;
+    double readPj = 0.0;
+    double writePj = 0.0;
+    double refreshPj = 0.0;
+    double backgroundPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return activatePj + readPj + writePj + refreshPj + backgroundPj;
+    }
+
+    /** Average power in milliwatts over @p cycles CPU cycles (5 GHz). */
+    double averageMw(Cycle cycles) const;
+
+    /** Energy per serviced column command (pJ/access). */
+    double perAccessPj(const CommandCounts &counts) const;
+};
+
+/**
+ * Compute the energy breakdown implied by @p counts over @p elapsed CPU
+ * cycles. Background power is split by bank utilization: bankBusyCycles
+ * of the window's (banks x cycles) budget at active power, the rest at
+ * standby power.
+ *
+ * @param banksPerChannel number of banks behind the controller
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const CommandCounts &counts, Cycle elapsed,
+                              int banksPerChannel);
+
+} // namespace tcm::dram

@@ -1,0 +1,51 @@
+#include "dram/rank.hpp"
+
+#include <algorithm>
+
+namespace tcm::dram {
+
+Rank::Rank(const TimingParams &timing) : timing_(&timing)
+{
+    actHistory_.fill(kCycleNever);
+}
+
+bool
+Rank::canActivate(Cycle now) const
+{
+    if (now < actAllowedAt_)
+        return false;
+    // The oldest of the last four ACTs must be at least tFAW in the past.
+    Cycle oldest = actHistory_[actHistoryPos_];
+    return oldest == kCycleNever || now >= oldest + timing_->tFAW;
+}
+
+bool
+Rank::canRead(Cycle now) const
+{
+    return now >= rdAllowedAt_;
+}
+
+void
+Rank::recordActivate(Cycle now)
+{
+    actAllowedAt_ = now + timing_->tRRD;
+    actHistory_[actHistoryPos_] = now;
+    actHistoryPos_ = (actHistoryPos_ + 1) % 4;
+}
+
+Cycle
+Rank::earliestActivate() const
+{
+    Cycle oldest = actHistory_[actHistoryPos_];
+    Cycle faw = oldest == kCycleNever ? 0 : oldest + timing_->tFAW;
+    return std::max(actAllowedAt_, faw);
+}
+
+void
+Rank::recordWrite(Cycle now)
+{
+    Cycle data_end = now + timing_->tCWL + timing_->tBURST;
+    rdAllowedAt_ = std::max(rdAllowedAt_, data_end + timing_->tWTR);
+}
+
+} // namespace tcm::dram

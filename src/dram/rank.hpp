@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Rank-level DRAM timing constraints (tRRD, tFAW, write-to-read turnaround).
+ */
+
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace tcm::dram {
+
+/**
+ * Tracks constraints that span all banks of one rank: activate-to-activate
+ * spacing (tRRD), the rolling four-activate window (tFAW), and the
+ * write-to-read turnaround (tWTR).
+ */
+class Rank
+{
+  public:
+    explicit Rank(const TimingParams &timing);
+
+    /** True if an ACT to any bank may issue at @p now. */
+    bool canActivate(Cycle now) const;
+
+    /** True if a RD may issue at @p now (tWTR satisfied). */
+    bool canRead(Cycle now) const;
+
+    /** Record an issued ACT at @p now. */
+    void recordActivate(Cycle now);
+
+    /** Record an issued WR at @p now (arms the tWTR turnaround). */
+    void recordWrite(Cycle now);
+
+    /** Earliest cycle an ACT could issue (tRRD and tFAW combined). */
+    Cycle earliestActivate() const;
+
+    /** Earliest cycle a RD could issue (tWTR). */
+    Cycle earliestRead() const { return rdAllowedAt_; }
+
+  private:
+    const TimingParams *timing_;
+    Cycle actAllowedAt_ = 0;     //!< next ACT per tRRD
+    Cycle rdAllowedAt_ = 0;      //!< next RD per tWTR
+    std::array<Cycle, 4> actHistory_{}; //!< circular buffer for tFAW
+    int actHistoryPos_ = 0;
+};
+
+} // namespace tcm::dram

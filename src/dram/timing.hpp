@@ -1,0 +1,84 @@
+/**
+ * @file
+ * DDR2 timing parameters, expressed in CPU cycles.
+ *
+ * The whole simulator runs on a single 5 GHz CPU clock (0.2 ns per cycle),
+ * matching the paper's Table 3 where a 40 ns row-buffer hit corresponds to
+ * 200 cycles. DRAM-side constraints are specified in nanoseconds from the
+ * Micron DDR2-800 datasheet (MT47H128M8HQ-25) and converted once at
+ * construction.
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tcm::dram {
+
+/**
+ * Full set of DRAM timing and geometry parameters used by the bank, rank
+ * and channel models. All `t*` members are CPU cycles.
+ */
+struct TimingParams
+{
+    /** CPU cycles per nanosecond (5 GHz). */
+    static constexpr double kCyclesPerNs = 5.0;
+
+    /** Convert nanoseconds to (rounded) CPU cycles. */
+    static Cycle ns(double nanoseconds);
+
+    // -- DRAM clock --------------------------------------------------------
+    Cycle tCK;    //!< DRAM command-clock period (2.5 ns at DDR2-800)
+
+    // -- Core timing constraints -------------------------------------------
+    Cycle tCL;    //!< CAS (read) latency
+    Cycle tCWL;   //!< CAS write latency (tCL - tCK for DDR2)
+    Cycle tRCD;   //!< ACT-to-RD/WR delay
+    Cycle tRP;    //!< PRE-to-ACT delay
+    Cycle tRAS;   //!< ACT-to-PRE minimum
+    Cycle tRC;    //!< ACT-to-ACT same bank (tRAS + tRP)
+    Cycle tBURST; //!< Data-bus occupancy of one access (BL/2 DRAM cycles)
+    Cycle tCCD;   //!< Column-command-to-column-command spacing
+    Cycle tRRD;   //!< ACT-to-ACT different banks, same rank
+    Cycle tWR;    //!< Write recovery (end of write data to PRE)
+    Cycle tWTR;   //!< Write-to-read turnaround (end of write data to RD)
+    Cycle tRTP;   //!< Read-to-precharge delay
+    Cycle tFAW;   //!< Four-activate window, per rank
+    Cycle tRTRS;  //!< Rank-to-rank data-bus switch penalty
+    Cycle tREFI;  //!< Average refresh interval
+    Cycle tRFC;   //!< Refresh cycle time
+
+    // -- Interconnect delays (controller <-> core) -------------------------
+    Cycle cpuToMcDelay; //!< Core request to controller-queue visibility
+    Cycle mcToCpuDelay; //!< Last data beat to core wakeup
+
+    // -- Geometry -----------------------------------------------------------
+    int banksPerChannel;  //!< Total banks behind one controller
+    int ranksPerChannel;  //!< DIMM ranks; banksPerChannel splits evenly
+    int rowsPerBank;      //!< Rows per bank
+    int colsPerRow;       //!< Cache-block-sized columns per row (2 KB / 32 B)
+
+    /** Banks in one rank (banksPerChannel / ranksPerChannel). */
+    int banksPerRank() const { return banksPerChannel / ranksPerChannel; }
+
+    bool refreshEnabled;  //!< Model periodic refresh (tREFI/tRFC)
+
+    /**
+     * The baseline configuration of Table 3: Micron DDR2-800, 4 banks,
+     * 2 KB row-buffer, 32-byte blocks. Uncontended round-trip latencies
+     * come out at ~200/275/350 cycles for row hit / closed / conflict,
+     * close to the paper's quoted 200/300/400 (the residual difference is
+     * the paper's inclusion of additional command/decode overheads).
+     */
+    static TimingParams ddr2_800();
+
+    /**
+     * DDR3-1333 CL9 (e.g. Micron MT41J256M8): 8 banks per rank, faster
+     * clock and burst, larger tFAW relative to tRRD. Not used by any
+     * paper experiment — provided so downstream studies can check that
+     * scheduling conclusions survive a newer DRAM generation.
+     */
+    static TimingParams ddr3_1333();
+};
+
+} // namespace tcm::dram

@@ -1,0 +1,322 @@
+#include "mem/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::mem {
+
+using dram::CommandKind;
+
+MemoryController::MemoryController(ChannelId id,
+                                   const dram::TimingParams &timing,
+                                   const ControllerParams &params,
+                                   SchedulerPolicy &sched)
+    : id_(id),
+      timing_(&timing),
+      params_(params),
+      sched_(&sched),
+      channel_(timing),
+      queue_(params.readQueueCap, params.writeQueueCap)
+{
+    // Stagger per-rank refreshes across the tREFI window, as real
+    // controllers do, so at most one rank is unavailable at a time.
+    refreshDueAt_.resize(timing.ranksPerChannel);
+    for (int r = 0; r < timing.ranksPerChannel; ++r) {
+        refreshDueAt_[r] =
+            timing.refreshEnabled
+                ? timing.tREFI + r * (timing.tREFI / timing.ranksPerChannel)
+                : kCycleNever;
+    }
+}
+
+void
+MemoryController::submitRead(ThreadId thread, std::uint64_t missId,
+                             BankId bank, RowId row, ColId col, Cycle now)
+{
+    Request req;
+    req.seq = nextSeq_++;
+    req.thread = thread;
+    req.isWrite = false;
+    req.channel = id_;
+    req.bank = bank;
+    req.row = row;
+    req.col = col;
+    req.issuedAt = now;
+    req.arrivedAt = now + timing_->cpuToMcDelay;
+    req.missId = missId;
+    maxThreadSeen_ = std::max(maxThreadSeen_, thread);
+    queue_.addInFlight(req);
+}
+
+void
+MemoryController::submitWrite(ThreadId thread, BankId bank, RowId row,
+                              ColId col, Cycle now)
+{
+    Request req;
+    req.seq = nextSeq_++;
+    req.thread = thread;
+    req.isWrite = true;
+    req.channel = id_;
+    req.bank = bank;
+    req.row = row;
+    req.col = col;
+    req.issuedAt = now;
+    req.arrivedAt = now + timing_->cpuToMcDelay;
+    maxThreadSeen_ = std::max(maxThreadSeen_, thread);
+    queue_.addInFlight(req);
+}
+
+void
+MemoryController::forEachRead(const std::function<void(Request &)> &fn)
+{
+    for (Request &req : queue_.reads())
+        fn(req);
+}
+
+CommandKind
+MemoryController::nextCommand(const Request &req) const
+{
+    const dram::Bank &bank = channel_.bank(req.bank);
+    if (bank.precharged())
+        return CommandKind::Activate;
+    if (bank.openRow() == req.row)
+        return req.isWrite ? CommandKind::Write : CommandKind::Read;
+    return CommandKind::Precharge;
+}
+
+void
+MemoryController::refreshPolicyCache(Cycle now)
+{
+    (void)now;
+    rankCache_.resize(static_cast<std::size_t>(maxThreadSeen_) + 1);
+    for (ThreadId t = 0; t <= maxThreadSeen_; ++t)
+        rankCache_[t] = sched_->rankOf(id_, t);
+    agingCache_ = sched_->agingThreshold();
+    rowHitAboveRankCache_ = sched_->rowHitAboveRank();
+    useRowHitCache_ = sched_->useRowHit();
+}
+
+bool
+MemoryController::higherPriority(const Request &a, const Request &b,
+                                 Cycle now) const
+{
+    // Tier 1: over-age escalation (ATLAS starvation threshold).
+    if (agingCache_ != kCycleNever) {
+        bool aOld = a.arrivedAt + agingCache_ <= now;
+        bool bOld = b.arrivedAt + agingCache_ <= now;
+        if (aOld != bOld)
+            return aOld;
+    }
+
+    // Tier 2: batch bit (PAR-BS).
+    if (a.marked != b.marked)
+        return a.marked;
+
+    int aRank = cachedRank(a.thread);
+    int bRank = cachedRank(b.thread);
+    bool aHit = channel_.bank(a.bank).openRow() == a.row;
+    bool bHit = channel_.bank(b.bank).openRow() == b.row;
+    if (!useRowHitCache_) {
+        aHit = false;
+        bHit = false;
+    }
+
+    if (rowHitAboveRankCache_) {
+        if (aHit != bHit)
+            return aHit;
+        if (aRank != bRank)
+            return aRank > bRank;
+    } else {
+        if (aRank != bRank)
+            return aRank > bRank;
+        if (aHit != bHit)
+            return aHit;
+    }
+
+    // Oldest first; seq breaks exact ties deterministically.
+    if (a.arrivedAt != b.arrivedAt)
+        return a.arrivedAt < b.arrivedAt;
+    return a.seq < b.seq;
+}
+
+void
+MemoryController::maybeAutoPrecharge(const Request &served)
+{
+    if (params_.pagePolicy != PagePolicy::Closed)
+        return;
+    // Smart-closed: keep the row open if another queued request would
+    // hit it.
+    for (const Request &r : queue_.reads())
+        if (r.bank == served.bank && r.row == served.row)
+            return;
+    for (const Request &r : queue_.writes())
+        if (r.bank == served.bank && r.row == served.row)
+            return;
+    channel_.autoPrecharge(served.bank);
+    ++stats_.precharges;
+}
+
+bool
+MemoryController::refreshEngine(Cycle now)
+{
+    const int banks_per_rank = timing_->banksPerRank();
+    bool pending = false;
+    for (int r = 0; r < channel_.numRanks(); ++r) {
+        if (now < refreshDueAt_[r])
+            continue;
+        pending = true;
+        BankId base = static_cast<BankId>(r * banks_per_rank);
+        if (channel_.canIssue(CommandKind::Refresh, base, now)) {
+            channel_.issue(CommandKind::Refresh, base, kNoRow, now);
+            ++stats_.refreshes;
+            refreshDueAt_[r] += timing_->tREFI;
+            return true;
+        }
+        // Work toward a rank-precharged state; one PRE per cycle.
+        if (channel_.cmdBusFree(now)) {
+            for (BankId b = base; b < base + banks_per_rank; ++b) {
+                if (channel_.canIssue(CommandKind::Precharge, b, now)) {
+                    channel_.issue(CommandKind::Precharge, b, kNoRow, now);
+                    ++stats_.precharges;
+                    return true;
+                }
+            }
+        }
+    }
+    // While a refresh is owed, the command slot is reserved for it.
+    return pending;
+}
+
+bool
+MemoryController::tryIssue(std::vector<Request> &candidates, Cycle now,
+                           Cycle &nextPossible)
+{
+    int best = -1;
+    CommandKind bestCmd = CommandKind::Read;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Request &req = candidates[i];
+        CommandKind cmd = nextCommand(req);
+        if (!channel_.canIssue(cmd, req.bank, now)) {
+            nextPossible = std::min(
+                nextPossible, channel_.earliestIssue(cmd, req.bank));
+            continue;
+        }
+        if (best < 0 || higherPriority(req, candidates[best], now)) {
+            best = static_cast<int>(i);
+            bestCmd = cmd;
+        }
+    }
+    if (best < 0)
+        return false;
+
+    Request req = candidates[best]; // copy: removal invalidates references
+    dram::IssueResult res = channel_.issue(bestCmd, req.bank, req.row, now);
+    stats_.bankBusyCycles += res.occupancy;
+    sched_->onCommand(req, bestCmd, now, res.occupancy);
+
+    switch (bestCmd) {
+      case CommandKind::Activate:
+        ++stats_.activates;
+        ++stats_.rowMisses;
+        candidates[best].sawActivate = true;
+        break;
+      case CommandKind::Precharge:
+        ++stats_.precharges;
+        break;
+      case CommandKind::Read:
+        ++stats_.readsServiced;
+        if (!req.sawActivate)
+            ++stats_.rowHits;
+        completions_.push_back(Completion{
+            req.thread, req.missId, res.dataEnd + timing_->mcToCpuDelay});
+        latency_.record(req.thread,
+                        res.dataEnd + timing_->mcToCpuDelay - req.issuedAt);
+        queue_.removeRead(static_cast<std::size_t>(best));
+        // Departure is stamped at the end of the data burst: a request
+        // is "outstanding" (Table 2's load counters) until serviced, not
+        // merely until its column command issues.
+        sched_->onDepart(req, res.dataEnd);
+        maybeAutoPrecharge(req);
+        break;
+      case CommandKind::Write:
+        ++stats_.writesServiced;
+        if (!req.sawActivate)
+            ++stats_.rowHits;
+        queue_.removeWrite(static_cast<std::size_t>(best));
+        sched_->onDepart(req, res.dataEnd);
+        maybeAutoPrecharge(req);
+        break;
+      case CommandKind::Refresh:
+        break;
+    }
+    return true;
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    {
+        std::vector<Request> arrived = queue_.admitArrivals(now);
+        if (!arrived.empty()) {
+            for (const Request &req : arrived)
+                sched_->onArrival(req, now);
+            nextTryAt_ = now; // a fresh request may be issuable at once
+        }
+    }
+
+    if (timing_->refreshEnabled && refreshEngine(now)) {
+        nextTryAt_ = now; // refresh touched channel state
+        return;
+    }
+
+    if (params_.idleSkip && now < nextTryAt_)
+        return;
+
+    if (!channel_.cmdBusFree(now))
+        return;
+
+    // Decide whether this cycle serves the read stream or drains writes.
+    if (drainingWrites_) {
+        if (queue_.writes().size() <=
+            static_cast<std::size_t>(params_.drainLowWatermark)) {
+            drainingWrites_ = false;
+        }
+    } else if (queue_.writes().size() >=
+               static_cast<std::size_t>(params_.drainHighWatermark)) {
+        drainingWrites_ = true;
+    }
+
+    // Lower bound on the next cycle a command could issue, refined by
+    // the scans below; only trusted when no command issues this cycle.
+    Cycle next_possible = kCycleNever;
+
+    refreshPolicyCache(now);
+
+    if (drainingWrites_) {
+        if (tryIssue(queue_.writes(), now, next_possible)) {
+            nextTryAt_ = now + timing_->tCK;
+            return;
+        }
+        // While draining, still make progress on reads if no write can
+        // issue this cycle (keeps the bus utilized).
+        if (tryIssue(queue_.reads(), now, next_possible)) {
+            nextTryAt_ = now + timing_->tCK;
+            return;
+        }
+        nextTryAt_ = next_possible;
+        return;
+    }
+
+    if (tryIssue(queue_.reads(), now, next_possible)) {
+        nextTryAt_ = now + timing_->tCK;
+        return;
+    }
+    // Opportunistic write issue when the read stream cannot use the slot.
+    if (tryIssue(queue_.writes(), now, next_possible)) {
+        nextTryAt_ = now + timing_->tCK;
+        return;
+    }
+    nextTryAt_ = next_possible;
+}
+
+} // namespace tcm::mem

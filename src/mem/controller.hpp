@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cycle-level memory controller for one DRAM channel.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/channel.hpp"
+#include "dram/timing.hpp"
+#include "mem/latency_tracker.hpp"
+#include "mem/request.hpp"
+#include "mem/request_queue.hpp"
+#include "mem/sched_iface.hpp"
+
+namespace tcm::mem {
+
+/**
+ * Row-buffer management policy. OpenPage (the baseline, and what all the
+ * paper's schedulers assume) leaves rows open for future hits;
+ * ClosedPage auto-precharges after a column command unless another
+ * queued request targets the same row (the standard "smart closed"
+ * refinement).
+ */
+enum class PagePolicy
+{
+    Open,
+    Closed,
+};
+
+/** Controller configuration (Table 3 defaults). */
+struct ControllerParams
+{
+    PagePolicy pagePolicy = PagePolicy::Open;
+
+    int readQueueCap = 128;  //!< request buffer entries
+    int writeQueueCap = 64;  //!< write data buffer entries
+    int drainHighWatermark = 48; //!< start write drain at this occupancy
+    int drainLowWatermark = 16;  //!< stop write drain at this occupancy
+
+    /**
+     * Skip scheduling scans until a command could possibly issue
+     * (cycle-exact: the skip bound is a lower bound on the next legal
+     * issue time, and arrivals re-arm the scan immediately). Purely a
+     * simulation-speed optimization; results are bit-identical either
+     * way, which tests/test_mem.cpp asserts.
+     */
+    bool idleSkip = true;
+};
+
+/** Aggregate controller statistics (reset at measurement start). */
+struct ControllerStats
+{
+    std::uint64_t readsServiced = 0;
+    std::uint64_t writesServiced = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rowHits = 0;     //!< column commands to an already-open row
+    std::uint64_t rowMisses = 0;   //!< column commands that needed an ACT
+    std::uint64_t bankBusyCycles = 0; //!< sum of command occupancies
+
+    void
+    reset()
+    {
+        *this = ControllerStats{};
+    }
+};
+
+/**
+ * Drives one dram::Channel. Every CPU cycle the controller admits
+ * transported requests, runs the refresh engine, and issues at most one
+ * DRAM command chosen by a fixed prioritization engine parameterized by
+ * the attached SchedulerPolicy (see sched_iface.hpp).
+ *
+ * Reads are prioritized over writes; writes drain in batches between a
+ * high and a low watermark, or opportunistically when no reads are
+ * pending (Table 3: "reads prioritized over writes").
+ */
+class MemoryController : public QueueAccess
+{
+  public:
+    /** One finished read, ready to wake the issuing core at readyAt. */
+    struct Completion
+    {
+        ThreadId thread;
+        std::uint64_t missId;
+        Cycle readyAt;
+    };
+
+    MemoryController(ChannelId id, const dram::TimingParams &timing,
+                     const ControllerParams &params, SchedulerPolicy &sched);
+
+    ChannelId id() const { return id_; }
+
+    /** @{ Backpressure interface used by cores. */
+    bool canAcceptRead() const { return queue_.canAcceptRead(); }
+    bool canAcceptWrite() const { return queue_.canAcceptWrite(); }
+    /** @} */
+
+    /** Submit a read (L2 miss). Asserts capacity. */
+    void submitRead(ThreadId thread, std::uint64_t missId, BankId bank,
+                    RowId row, ColId col, Cycle now);
+
+    /** Submit a write (dirty writeback). Asserts capacity. */
+    void submitWrite(ThreadId thread, BankId bank, RowId row, ColId col,
+                     Cycle now);
+
+    /** Advance one CPU cycle: admit arrivals, refresh, issue a command. */
+    void tick(Cycle now);
+
+    /** Completions produced so far; the simulator drains this each cycle. */
+    std::vector<Completion> &completions() { return completions_; }
+
+    const ControllerStats &stats() const { return stats_; }
+
+    void
+    resetStats()
+    {
+        stats_.reset();
+        latency_.reset();
+    }
+
+    /** End-to-end read latency distributions since the last reset. */
+    const LatencyTracker &latency() const { return latency_; }
+
+    const dram::Channel &channel() const { return channel_; }
+
+    /** Number of queued + in-flight reads (tests/backpressure checks). */
+    std::size_t readLoad() const { return queue_.readLoad(); }
+    std::size_t writeLoad() const { return queue_.writeLoad(); }
+
+    // QueueAccess
+    void forEachRead(const std::function<void(Request &)> &fn) override;
+
+  private:
+    /** Next DRAM command needed to advance @p req, given bank state. */
+    dram::CommandKind nextCommand(const Request &req) const;
+
+    /**
+     * True if @p a should be serviced before @p b under the current
+     * scheduler knobs (Algorithm 3 generalized). Both must be issuable.
+     */
+    bool higherPriority(const Request &a, const Request &b, Cycle now) const;
+
+    /** Snapshot scheduler knobs once per scan (hot-path devirtualization). */
+    void refreshPolicyCache(Cycle now);
+
+    /** Cached rank lookup for the current scan. */
+    int
+    cachedRank(ThreadId thread) const
+    {
+        return thread < static_cast<ThreadId>(rankCache_.size())
+                   ? rankCache_[thread]
+                   : sched_->rankOf(id_, thread);
+    }
+
+    /**
+     * Scan @p candidates and issue one command if possible. When no
+     * command can issue, lowers @p nextPossible to the earliest cycle
+     * any candidate could become issuable.
+     */
+    bool tryIssue(std::vector<Request> &candidates, Cycle now,
+                  Cycle &nextPossible);
+
+    /** Progress the refresh engine; true if it consumed the command slot. */
+    bool refreshEngine(Cycle now);
+
+    /** Closed-page policy: auto-precharge after a column command. */
+    void maybeAutoPrecharge(const Request &served);
+
+    ChannelId id_;
+    const dram::TimingParams *timing_;
+    ControllerParams params_;
+    SchedulerPolicy *sched_;
+    dram::Channel channel_;
+    RequestQueue queue_;
+    std::vector<Completion> completions_;
+    ControllerStats stats_;
+    LatencyTracker latency_;
+    bool drainingWrites_ = false;
+    std::vector<Cycle> refreshDueAt_; //!< per rank, staggered
+    Cycle nextTryAt_ = 0; //!< idle fast-path: no scan before this cycle
+    std::uint64_t nextSeq_ = 0;
+
+    // Per-scan policy snapshot (see refreshPolicyCache).
+    std::vector<int> rankCache_;
+    Cycle agingCache_ = kCycleNever;
+    bool rowHitAboveRankCache_ = false;
+    bool useRowHitCache_ = true;
+    ThreadId maxThreadSeen_ = 0;
+};
+
+} // namespace tcm::mem

@@ -1,0 +1,68 @@
+#include "mem/latency_tracker.hpp"
+
+namespace tcm::mem {
+
+namespace {
+
+stats::Histogram
+ladder()
+{
+    // 100 * 1.5^k: 100 .. ~2.2M cycles over 25 buckets.
+    return stats::Histogram::exponential(100.0, 1.5, 25);
+}
+
+const RunningStat kEmptyStat{};
+
+} // namespace
+
+LatencyTracker::LatencyTracker() : aggregate_(ladder())
+{
+}
+
+void
+LatencyTracker::grow(ThreadId t)
+{
+    while (static_cast<ThreadId>(perThread_.size()) <= t) {
+        perThread_.emplace_back();
+        perThreadHist_.push_back(ladder());
+    }
+}
+
+void
+LatencyTracker::record(ThreadId thread, Cycle latency)
+{
+    grow(thread);
+    double v = static_cast<double>(latency);
+    aggregate_.add(v);
+    perThread_[thread].add(v);
+    perThreadHist_[thread].add(v);
+}
+
+const RunningStat &
+LatencyTracker::threadStats(ThreadId t) const
+{
+    if (t < 0 || t >= static_cast<ThreadId>(perThread_.size()))
+        return kEmptyStat;
+    return perThread_[t];
+}
+
+const stats::Histogram &
+LatencyTracker::threadHistogram(ThreadId t) const
+{
+    static const stats::Histogram kEmpty = ladder();
+    if (t < 0 || t >= static_cast<ThreadId>(perThreadHist_.size()))
+        return kEmpty;
+    return perThreadHist_[t];
+}
+
+void
+LatencyTracker::reset()
+{
+    aggregate_.reset();
+    for (auto &s : perThread_)
+        s = RunningStat{};
+    for (auto &h : perThreadHist_)
+        h.reset();
+}
+
+} // namespace tcm::mem

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * A memory request as seen by a controller queue.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tcm::mem {
+
+/**
+ * One outstanding DRAM access. Created by a core (an L2 miss or a
+ * writeback), transported to the owning channel's controller, and held in
+ * the controller's request buffer until its column command issues.
+ */
+struct Request
+{
+    std::uint64_t seq = 0;   //!< global monotonic id (final tie-break)
+    ThreadId thread = kNoThread;
+    bool isWrite = false;
+    ChannelId channel = 0;
+    BankId bank = 0;
+    RowId row = 0;
+    ColId col = 0;
+    Cycle issuedAt = 0;      //!< cycle the core sent the request
+    Cycle arrivedAt = 0;     //!< cycle it became visible to the controller
+    std::uint64_t missId = 0; //!< core-side wakeup tag (reads only)
+    bool marked = false;     //!< scheduler-owned batch bit (PAR-BS)
+    bool sawActivate = false; //!< this request paid for its own ACT
+};
+
+} // namespace tcm::mem

@@ -1,0 +1,85 @@
+#include "mem/request_queue.hpp"
+
+#include <cassert>
+
+namespace tcm::mem {
+
+RequestQueue::RequestQueue(int readCap, int writeCap)
+    : readCap_(readCap), writeCap_(writeCap)
+{
+    reads_.reserve(readCap);
+    writes_.reserve(writeCap);
+}
+
+bool
+RequestQueue::canAcceptRead() const
+{
+    return readLoad() < static_cast<std::size_t>(readCap_);
+}
+
+bool
+RequestQueue::canAcceptWrite() const
+{
+    return writeLoad() < static_cast<std::size_t>(writeCap_);
+}
+
+void
+RequestQueue::addInFlight(const Request &req)
+{
+    if (req.isWrite) {
+        assert(canAcceptWrite());
+        ++inFlightWrites_;
+    } else {
+        assert(canAcceptRead());
+        ++inFlightReads_;
+    }
+    // Arrival times are monotonic (fixed transport delay), so push_back
+    // keeps the FIFO sorted by arrivedAt.
+    assert(inFlight_.empty() || inFlight_.back().arrivedAt <= req.arrivedAt);
+    inFlight_.push_back(req);
+}
+
+std::vector<Request>
+RequestQueue::admitArrivals(Cycle now)
+{
+    std::vector<Request> admitted;
+    std::size_t n = 0;
+    while (n < inFlight_.size() && inFlight_[n].arrivedAt <= now)
+        ++n;
+    if (n == 0)
+        return admitted;
+    admitted.assign(inFlight_.begin(), inFlight_.begin() + n);
+    inFlight_.erase(inFlight_.begin(), inFlight_.begin() + n);
+    for (const Request &req : admitted) {
+        if (req.isWrite) {
+            --inFlightWrites_;
+            writes_.push_back(req);
+        } else {
+            --inFlightReads_;
+            reads_.push_back(req);
+        }
+    }
+    return admitted;
+}
+
+Request
+RequestQueue::removeRead(std::size_t idx)
+{
+    assert(idx < reads_.size());
+    Request req = reads_[idx];
+    reads_[idx] = reads_.back();
+    reads_.pop_back();
+    return req;
+}
+
+Request
+RequestQueue::removeWrite(std::size_t idx)
+{
+    assert(idx < writes_.size());
+    Request req = writes_[idx];
+    writes_[idx] = writes_.back();
+    writes_.pop_back();
+    return req;
+}
+
+} // namespace tcm::mem

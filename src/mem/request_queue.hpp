@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bounded read/write request buffers for one memory controller.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace tcm::mem {
+
+/**
+ * Holds the controller's queued requests: a read request buffer and a
+ * write data buffer (Table 3: 128-entry reads, 64-entry writes). Requests
+ * that have been transported from the core but are not yet visible
+ * (cpuToMcDelay in flight) count against capacity so a core can never
+ * oversubscribe the buffer.
+ */
+class RequestQueue
+{
+  public:
+    RequestQueue(int readCap, int writeCap);
+
+    /** @{ Capacity checks, counting in-flight arrivals. */
+    bool canAcceptRead() const;
+    bool canAcceptWrite() const;
+    /** @} */
+
+    /** Add a request still in transport; becomes visible at arrivedAt. */
+    void addInFlight(const Request &req);
+
+    /**
+     * Move every in-flight request with arrivedAt <= now into the visible
+     * queues; returns the requests that just arrived (for observer hooks).
+     */
+    std::vector<Request> admitArrivals(Cycle now);
+
+    std::vector<Request> &reads() { return reads_; }
+    std::vector<Request> &writes() { return writes_; }
+    const std::vector<Request> &reads() const { return reads_; }
+    const std::vector<Request> &writes() const { return writes_; }
+
+    /** Remove reads()[idx] via swap-pop; returns the removed request. */
+    Request removeRead(std::size_t idx);
+
+    /** Remove writes()[idx] via swap-pop; returns the removed request. */
+    Request removeWrite(std::size_t idx);
+
+    int readCap() const { return readCap_; }
+    int writeCap() const { return writeCap_; }
+
+    /** Visible + in-flight read count. */
+    std::size_t readLoad() const { return reads_.size() + inFlightReads_; }
+
+    /** Visible + in-flight write count. */
+    std::size_t writeLoad() const { return writes_.size() + inFlightWrites_; }
+
+  private:
+    int readCap_;
+    int writeCap_;
+    std::vector<Request> reads_;
+    std::vector<Request> writes_;
+    std::vector<Request> inFlight_; //!< FIFO by arrival time
+    std::size_t inFlightReads_ = 0;
+    std::size_t inFlightWrites_ = 0;
+};
+
+} // namespace tcm::mem

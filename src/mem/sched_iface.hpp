@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The policy interface between the memory controller and a scheduling
+ * algorithm.
+ *
+ * Every scheduler in the paper reduces to a small set of knobs applied by
+ * a fixed prioritization engine in the controller (the paper's
+ * Algorithm 3 generalized):
+ *
+ *   1. over-age requests first (ATLAS's starvation threshold),
+ *   2. marked requests first (PAR-BS's batch bit),
+ *   3. higher-ranked thread first (rank vector from the scheduler),
+ *   4. row-buffer hit first,
+ *   5. oldest first.
+ *
+ * PAR-BS swaps tiers 3 and 4 (row-hit above rank); FCFS disables tier 4.
+ * Schedulers observe the memory system through the on* hooks and publish
+ * thread ranks, which the controller reads every decision.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/command.hpp"
+#include "mem/request.hpp"
+
+namespace tcm::mem {
+
+/** Per-core retired-instruction/miss counters a scheduler may consult. */
+struct CoreCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t readMisses = 0;
+};
+
+/** Mutable access to a controller's read queue (PAR-BS batch marking). */
+class QueueAccess
+{
+  public:
+    virtual ~QueueAccess() = default;
+
+    /** Invoke @p fn on every queued (not yet departed) read request. */
+    virtual void forEachRead(const std::function<void(Request &)> &fn) = 0;
+};
+
+/**
+ * Abstract scheduling policy. One instance governs the whole system; the
+ * simulator calls tick() once per cycle, and each controller invokes the
+ * observation hooks and reads the prioritization knobs.
+ */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /** Human-readable algorithm name (for reports). */
+    virtual const char *name() const = 0;
+
+    // -- wiring (called once before simulation starts) ---------------------
+
+    /** Number of threads and channels in the system. */
+    virtual void
+    configure(int numThreads, int numChannels, int banksPerChannel)
+    {
+        numThreads_ = numThreads;
+        numChannels_ = numChannels;
+        banksPerChannel_ = banksPerChannel;
+        queues_.assign(numChannels, nullptr);
+    }
+
+    /** Controller registers its queue for direct scheduler access. */
+    virtual void
+    attachQueue(ChannelId ch, QueueAccess *queue)
+    {
+        queues_.at(ch) = queue;
+    }
+
+    /** Simulator publishes per-core counters (for MPKI-style metrics). */
+    virtual void
+    setCoreCounters(const std::vector<CoreCounters> *counters)
+    {
+        coreCounters_ = counters;
+    }
+
+    /**
+     * OS-assigned thread weights (Section 3.6). Called after configure();
+     * schedulers that do not support weights ignore them.
+     */
+    virtual void setThreadWeights(const std::vector<int> & /*weights*/) {}
+
+    // -- observation hooks --------------------------------------------------
+
+    /** A request became visible in a controller queue. */
+    virtual void onArrival(const Request &, Cycle /*now*/) {}
+
+    /** A request left a queue (its column command issued). */
+    virtual void onDepart(const Request &, Cycle /*now*/) {}
+
+    /**
+     * A DRAM command was issued on behalf of @p req, keeping its bank busy
+     * for @p occupancy cycles. This is the "memory service time"
+     * attribution of paper Section 3.2.
+     */
+    virtual void onCommand(const Request & /*req*/, dram::CommandKind,
+                           Cycle /*now*/, Cycle /*occupancy*/) {}
+
+    /** Called once per CPU cycle by the simulator (quanta, shuffling). */
+    virtual void tick(Cycle /*now*/) {}
+
+    // -- prioritization knobs ------------------------------------------------
+
+    /**
+     * Rank of @p thread at controller @p ch; larger means higher priority.
+     * Default: all threads equal.
+     */
+    virtual int rankOf(ChannelId /*ch*/, ThreadId /*thread*/) const { return 0; }
+
+    /**
+     * Age (in cycles since arrival) beyond which a request is escalated to
+     * the top priority tier. kCycleNever disables escalation.
+     */
+    virtual Cycle agingThreshold() const { return kCycleNever; }
+
+    /** PAR-BS orders row-hit above thread rank. */
+    virtual bool rowHitAboveRank() const { return false; }
+
+    /** Pure FCFS ignores row-hit status. */
+    virtual bool useRowHit() const { return true; }
+
+  protected:
+    int numThreads_ = 0;
+    int numChannels_ = 0;
+    int banksPerChannel_ = 0;
+    std::vector<QueueAccess *> queues_;
+    const std::vector<CoreCounters> *coreCounters_ = nullptr;
+};
+
+} // namespace tcm::mem

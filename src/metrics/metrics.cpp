@@ -1,0 +1,39 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::metrics {
+
+WorkloadMetrics
+computeMetrics(const std::vector<double> &ipcAlone,
+               const std::vector<double> &ipcShared)
+{
+    assert(ipcAlone.size() == ipcShared.size());
+    constexpr double kStarved = 1e6;
+
+    WorkloadMetrics m;
+    const std::size_t n = ipcAlone.size();
+    m.speedups.resize(n);
+    m.slowdowns.resize(n);
+
+    double sumSpeedup = 0.0;
+    double sumSlowdown = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double alone = std::max(ipcAlone[i], 1e-12);
+        double speedup = ipcShared[i] / alone;
+        double slowdown =
+            ipcShared[i] > 0.0 ? alone / ipcShared[i] : kStarved;
+        m.speedups[i] = speedup;
+        m.slowdowns[i] = slowdown;
+        sumSpeedup += speedup;
+        sumSlowdown += slowdown;
+        m.maxSlowdown = std::max(m.maxSlowdown, slowdown);
+    }
+    m.weightedSpeedup = sumSpeedup;
+    m.harmonicSpeedup =
+        sumSlowdown > 0.0 ? static_cast<double>(n) / sumSlowdown : 0.0;
+    return m;
+}
+
+} // namespace tcm::metrics

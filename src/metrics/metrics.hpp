@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The paper's evaluation metrics (Section 6).
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace tcm::metrics {
+
+/** All per-workload figures of merit derived from alone/shared IPCs. */
+struct WorkloadMetrics
+{
+    double weightedSpeedup = 0.0;  //!< sum IPC_shared / IPC_alone
+    double maxSlowdown = 0.0;      //!< max IPC_alone / IPC_shared
+    double harmonicSpeedup = 0.0;  //!< N / sum (IPC_alone / IPC_shared)
+    std::vector<double> speedups;  //!< per-thread IPC_shared / IPC_alone
+    std::vector<double> slowdowns; //!< per-thread IPC_alone / IPC_shared
+};
+
+/**
+ * Compute all metrics. Threads with zero shared IPC get a slowdown
+ * pinned at a large finite value so a fully starved thread shows up as
+ * catastrophic unfairness instead of dividing by zero.
+ */
+WorkloadMetrics computeMetrics(const std::vector<double> &ipcAlone,
+                               const std::vector<double> &ipcShared);
+
+} // namespace tcm::metrics

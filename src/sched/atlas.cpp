@@ -1,0 +1,64 @@
+#include "sched/atlas.hpp"
+
+#include <cassert>
+
+namespace tcm::sched {
+
+Atlas::Atlas(const AtlasParams &params) : params_(params)
+{
+    nextQuantumAt_ = params_.quantum;
+}
+
+void
+Atlas::configure(int numThreads, int numChannels, int banksPerChannel)
+{
+    SchedulerPolicy::configure(numThreads, numChannels, banksPerChannel);
+    quantumAs_.assign(numThreads, 0.0);
+    totalAs_.assign(numThreads, 0.0);
+    weights_.assign(numThreads, 1);
+    // Before the first quantum completes there is no service history;
+    // seed a deterministic total order (thread id) so the controller's
+    // rank tier is well-defined from cycle 0.
+    ranks_.resize(numThreads);
+    for (ThreadId t = 0; t < numThreads; ++t)
+        ranks_[t] = numThreads - 1 - t;
+}
+
+void
+Atlas::setThreadWeights(const std::vector<int> &weights)
+{
+    assert(static_cast<int>(weights.size()) == numThreads_);
+    weights_ = weights;
+}
+
+void
+Atlas::onCommand(const Request &req, dram::CommandKind, Cycle,
+                 Cycle occupancy)
+{
+    quantumAs_[req.thread] += static_cast<double>(occupancy);
+}
+
+void
+Atlas::tick(Cycle now)
+{
+    if (now < nextQuantumAt_)
+        return;
+    nextQuantumAt_ = now + params_.quantum;
+
+    double alpha = params_.historyWeight;
+    std::vector<double> key(numThreads_);
+    for (ThreadId t = 0; t < numThreads_; ++t) {
+        totalAs_[t] = alpha * totalAs_[t] +
+                      (1.0 - alpha) * quantumAs_[t] / weights_[t];
+        quantumAs_[t] = 0.0;
+        key[t] = totalAs_[t];
+    }
+
+    // Least attained service -> highest rank. ascendingPositions gives the
+    // smallest key position 0, so invert.
+    std::vector<int> pos = ascendingPositions(key);
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        ranks_[t] = numThreads_ - 1 - pos[t];
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,128 @@
+#include "sched/factory.hpp"
+
+#include <algorithm>
+
+#include "sched/fcfs.hpp"
+#include "sched/fixed_rank.hpp"
+#include "sched/frfcfs.hpp"
+
+namespace tcm::sched {
+
+const char *
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::FrFcfs: return "FR-FCFS";
+      case Algo::Fcfs: return "FCFS";
+      case Algo::Fqm: return "FQM";
+      case Algo::Stfm: return "STFM";
+      case Algo::ParBs: return "PAR-BS";
+      case Algo::Atlas: return "ATLAS";
+      case Algo::Tcm: return "TCM";
+      case Algo::FixedRank: return "FixedRank";
+    }
+    return "?";
+}
+
+SchedulerSpec
+SchedulerSpec::frfcfs()
+{
+    return SchedulerSpec{};
+}
+
+SchedulerSpec
+SchedulerSpec::fcfs()
+{
+    SchedulerSpec s;
+    s.algo = Algo::Fcfs;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::fqmSpec()
+{
+    SchedulerSpec s;
+    s.algo = Algo::Fqm;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::stfmSpec()
+{
+    SchedulerSpec s;
+    s.algo = Algo::Stfm;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::parbsSpec()
+{
+    SchedulerSpec s;
+    s.algo = Algo::ParBs;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::atlasSpec()
+{
+    SchedulerSpec s;
+    s.algo = Algo::Atlas;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::tcmSpec()
+{
+    SchedulerSpec s;
+    s.algo = Algo::Tcm;
+    return s;
+}
+
+SchedulerSpec
+SchedulerSpec::fixedRank(std::vector<int> ranks)
+{
+    SchedulerSpec s;
+    s.algo = Algo::FixedRank;
+    s.fixedRanks = std::move(ranks);
+    return s;
+}
+
+void
+SchedulerSpec::scaleToRun(Cycle totalCycles)
+{
+    // The TCM quantum must hold several full insertion-shuffle rotations
+    // (2N steps of ShuffleInterval cycles each: ~38K cycles at 24
+    // threads), so its floor is higher than a pure 1/100 scaling.
+    tcm.quantum = std::max<Cycle>(50'000, totalCycles / 100);
+    atlas.quantum = std::max<Cycle>(20'000, totalCycles / 10);
+    // ATLAS's aging threshold is an absolute starvation timeout tied to
+    // DRAM service latencies, not to how long the experiment runs, so it
+    // is deliberately NOT scaled here.
+    stfm.intervalLength = std::max<Cycle>(50'000, totalCycles / 6);
+}
+
+std::unique_ptr<SchedulerPolicy>
+makeScheduler(const SchedulerSpec &spec, std::uint64_t seed)
+{
+    switch (spec.algo) {
+      case Algo::FrFcfs:
+        return std::make_unique<FrFcfs>();
+      case Algo::Fcfs:
+        return std::make_unique<Fcfs>();
+      case Algo::Fqm:
+        return std::make_unique<Fqm>(spec.fqm);
+      case Algo::Stfm:
+        return std::make_unique<Stfm>(spec.stfm);
+      case Algo::ParBs:
+        return std::make_unique<ParBs>(spec.parbs);
+      case Algo::Atlas:
+        return std::make_unique<Atlas>(spec.atlas);
+      case Algo::Tcm:
+        return std::make_unique<Tcm>(spec.tcm, seed);
+      case Algo::FixedRank:
+        return std::make_unique<FixedRank>(spec.fixedRanks);
+    }
+    return nullptr;
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Scheduler specification and construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/atlas.hpp"
+#include "sched/fqm.hpp"
+#include "sched/parbs.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/stfm.hpp"
+#include "sched/tcm/tcm.hpp"
+
+namespace tcm::sched {
+
+/** Which algorithm a SchedulerSpec names. */
+enum class Algo
+{
+    FrFcfs,
+    Fcfs,
+    Fqm,
+    Stfm,
+    ParBs,
+    Atlas,
+    Tcm,
+    FixedRank,
+};
+
+/** Human-readable algorithm name. */
+const char *algoName(Algo algo);
+
+/**
+ * A value-type description of a scheduler, so experiments can sweep
+ * parameters and construct fresh policy instances per run.
+ */
+struct SchedulerSpec
+{
+    Algo algo = Algo::FrFcfs;
+    FqmParams fqm;
+    StfmParams stfm;
+    ParBsParams parbs;
+    AtlasParams atlas;
+    TcmParams tcm;
+    std::vector<int> fixedRanks; //!< for Algo::FixedRank
+
+    /** @{ Convenience constructors with the paper's defaults. */
+    static SchedulerSpec frfcfs();
+    static SchedulerSpec fcfs();
+    static SchedulerSpec fqmSpec();
+    static SchedulerSpec stfmSpec();
+    static SchedulerSpec parbsSpec();
+    static SchedulerSpec atlasSpec();
+    static SchedulerSpec tcmSpec();
+    static SchedulerSpec fixedRank(std::vector<int> ranks);
+    /** @} */
+
+    /**
+     * Scale time-based parameters from the paper's 100M-cycle runs to a
+     * run of @p totalCycles: TCM quantum = total/100, ATLAS quantum =
+     * total/10, ATLAS aging = total/1000, STFM interval = total/6 — all
+     * with sane floors. ShuffleInterval is a locality-scale constant and
+     * is left alone.
+     */
+    void scaleToRun(Cycle totalCycles);
+
+    /** Display name ("TCM", "ATLAS", ...). */
+    const char *name() const { return algoName(algo); }
+};
+
+/** Construct a fresh policy instance from a spec. */
+std::unique_ptr<SchedulerPolicy> makeScheduler(const SchedulerSpec &spec,
+                                               std::uint64_t seed);
+
+} // namespace tcm::sched

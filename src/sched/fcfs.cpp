@@ -1,0 +1,3 @@
+#include "sched/fcfs.hpp"
+
+// Fully described by the knob overrides in the header.

@@ -1,0 +1,3 @@
+#include "sched/fixed_rank.hpp"
+
+// Fully described in the header.

@@ -1,0 +1,78 @@
+#include "sched/fqm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::sched {
+
+Fqm::Fqm(const FqmParams &params) : params_(params)
+{
+    nextUpdateAt_ = params_.updatePeriod;
+}
+
+void
+Fqm::configure(int numThreads, int numChannels, int banksPerChannel)
+{
+    SchedulerPolicy::configure(numThreads, numChannels, banksPerChannel);
+    vtime_.assign(numThreads, 0.0);
+    weights_.assign(numThreads, 1);
+    outstanding_.assign(numThreads, 0);
+    ranks_.assign(numThreads, 0);
+    for (ThreadId t = 0; t < numThreads; ++t)
+        ranks_[t] = numThreads - 1 - t; // deterministic initial order
+}
+
+void
+Fqm::setThreadWeights(const std::vector<int> &weights)
+{
+    assert(static_cast<int>(weights.size()) == numThreads_);
+    weights_ = weights;
+}
+
+void
+Fqm::onArrival(const Request &req, Cycle)
+{
+    if (!req.isWrite)
+        ++outstanding_[req.thread];
+}
+
+void
+Fqm::onDepart(const Request &req, Cycle)
+{
+    if (!req.isWrite)
+        --outstanding_[req.thread];
+}
+
+void
+Fqm::onCommand(const Request &req, dram::CommandKind, Cycle,
+               Cycle occupancy)
+{
+    vtime_[req.thread] +=
+        static_cast<double>(occupancy) / weights_[req.thread];
+}
+
+void
+Fqm::tick(Cycle now)
+{
+    if (now < nextUpdateAt_)
+        return;
+    nextUpdateAt_ = now + params_.updatePeriod;
+
+    // Idle catch-up: clamp sleepers to the busy minimum.
+    double min_active = -1.0;
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        if (outstanding_[t] > 0 &&
+            (min_active < 0.0 || vtime_[t] < min_active))
+            min_active = vtime_[t];
+    if (min_active > 0.0)
+        for (ThreadId t = 0; t < numThreads_; ++t)
+            if (outstanding_[t] == 0)
+                vtime_[t] = std::max(vtime_[t], min_active);
+
+    // Smallest virtual time -> highest rank.
+    std::vector<int> pos = ascendingPositions(vtime_);
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        ranks_[t] = numThreads_ - 1 - pos[t];
+}
+
+} // namespace tcm::sched

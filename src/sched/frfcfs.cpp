@@ -1,0 +1,4 @@
+#include "sched/frfcfs.hpp"
+
+// FR-FCFS is fully described by the controller's default tiers; this
+// translation unit only anchors the class in the scheduler library.

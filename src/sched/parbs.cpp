@@ -1,0 +1,98 @@
+#include "sched/parbs.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tcm::sched {
+
+ParBs::ParBs(const ParBsParams &params) : params_(params)
+{
+}
+
+void
+ParBs::configure(int numThreads, int numChannels, int banksPerChannel)
+{
+    SchedulerPolicy::configure(numThreads, numChannels, banksPerChannel);
+    markedRemaining_.assign(numChannels, 0);
+    ranks_.assign(numChannels, std::vector<int>(numThreads, 0));
+}
+
+void
+ParBs::onDepart(const Request &req, Cycle)
+{
+    if (req.marked && !req.isWrite)
+        --markedRemaining_[req.channel];
+}
+
+void
+ParBs::tick(Cycle)
+{
+    for (ChannelId ch = 0; ch < numChannels_; ++ch)
+        if (markedRemaining_[ch] == 0 && queues_[ch])
+            formBatch(ch);
+}
+
+void
+ParBs::formBatch(ChannelId ch)
+{
+    // Collect queued reads per (thread, bank).
+    struct Slot
+    {
+        std::vector<Request *> reqs;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(numThreads_) *
+                            banksPerChannel_);
+    bool any = false;
+    queues_[ch]->forEachRead([&](Request &req) {
+        slots[static_cast<std::size_t>(req.thread) * banksPerChannel_ +
+              req.bank]
+            .reqs.push_back(&req);
+        any = true;
+    });
+    if (!any)
+        return; // nothing to batch; ranks keep their previous values
+
+    // Mark up to batchCap oldest requests per (thread, bank) and compute
+    // each thread's per-bank and total marked load.
+    std::vector<int> maxLoad(numThreads_, 0);
+    std::vector<int> totalLoad(numThreads_, 0);
+    int marked = 0;
+    for (ThreadId t = 0; t < numThreads_; ++t) {
+        for (BankId b = 0; b < banksPerChannel_; ++b) {
+            auto &reqs =
+                slots[static_cast<std::size_t>(t) * banksPerChannel_ + b]
+                    .reqs;
+            if (reqs.empty())
+                continue;
+            std::sort(reqs.begin(), reqs.end(),
+                      [](const Request *x, const Request *y) {
+                          if (x->arrivedAt != y->arrivedAt)
+                              return x->arrivedAt < y->arrivedAt;
+                          return x->seq < y->seq;
+                      });
+            int take = std::min<int>(params_.batchCap,
+                                     static_cast<int>(reqs.size()));
+            for (int i = 0; i < take; ++i)
+                reqs[i]->marked = true;
+            marked += take;
+            totalLoad[t] += take;
+            maxLoad[t] = std::max(maxLoad[t], take);
+        }
+    }
+    markedRemaining_[ch] = marked;
+
+    // Max-total ranking: lighter batch jobs rank higher.
+    std::vector<ThreadId> order(numThreads_);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](ThreadId a, ThreadId b) {
+        if (maxLoad[a] != maxLoad[b])
+            return maxLoad[a] < maxLoad[b];
+        if (totalLoad[a] != totalLoad[b])
+            return totalLoad[a] < totalLoad[b];
+        return a < b;
+    });
+    for (int i = 0; i < numThreads_; ++i)
+        ranks_[ch][order[i]] = numThreads_ - 1 - i; // lightest -> highest
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,34 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tcm::sched {
+
+std::vector<int>
+ascendingPositions(const std::vector<double> &values)
+{
+    std::vector<int> idx(values.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+        if (values[a] != values[b])
+            return values[a] < values[b];
+        return a < b;
+    });
+    std::vector<int> pos(values.size());
+    for (std::size_t p = 0; p < idx.size(); ++p)
+        pos[idx[p]] = static_cast<int>(p);
+    return pos;
+}
+
+std::vector<int>
+ranksFromOrder(const std::vector<ThreadId> &orderedThreads, int numThreads,
+               int base)
+{
+    std::vector<int> ranks(numThreads, 0);
+    for (std::size_t i = 0; i < orderedThreads.size(); ++i)
+        ranks[orderedThreads[i]] = base + static_cast<int>(i);
+    return ranks;
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,49 @@
+#include "sched/tcm/clustering.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace tcm::sched {
+
+ClusterResult
+clusterThreads(const std::vector<double> &scaledMpki,
+               const std::vector<std::uint64_t> &bwUsage,
+               double clusterThresh)
+{
+    const int n = static_cast<int>(scaledMpki.size());
+    ClusterResult result;
+
+    std::uint64_t total = std::accumulate(bwUsage.begin(), bwUsage.end(),
+                                          std::uint64_t{0});
+    if (total == 0) {
+        result.bandwidth.resize(n);
+        std::iota(result.bandwidth.begin(), result.bandwidth.end(), 0);
+        return result;
+    }
+
+    std::vector<ThreadId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](ThreadId a, ThreadId b) {
+        if (scaledMpki[a] != scaledMpki[b])
+            return scaledMpki[a] < scaledMpki[b];
+        return a < b;
+    });
+
+    double budget = clusterThresh * static_cast<double>(total);
+    double sum = 0.0;
+    std::size_t i = 0;
+    for (; i < order.size(); ++i) {
+        ThreadId t = order[i];
+        sum += static_cast<double>(bwUsage[t]);
+        if (sum <= budget)
+            result.latency.push_back(t);
+        else
+            break;
+    }
+    for (; i < order.size(); ++i)
+        result.bandwidth.push_back(order[i]);
+    return result;
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * TCM's thread clustering (paper Algorithm 1).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcm::sched {
+
+/** Output of one clustering pass. */
+struct ClusterResult
+{
+    /** Latency-sensitive threads, lowest scaled-MPKI first. */
+    std::vector<ThreadId> latency;
+    /** Bandwidth-sensitive threads (everyone else). */
+    std::vector<ThreadId> bandwidth;
+};
+
+/**
+ * Algorithm 1: walk threads in increasing (weight-scaled) MPKI order,
+ * accumulating their previous-quantum bandwidth usage; threads fit in the
+ * latency-sensitive cluster while the running sum stays within
+ * clusterThresh x total usage.
+ *
+ * When total usage is zero (first quantum, or an idle system) there is no
+ * information to cluster on, so every thread is placed in the
+ * bandwidth-sensitive cluster — the fairness-oriented default.
+ *
+ * @param scaledMpki per-thread MPKI already divided by thread weight
+ * @param bwUsage    per-thread memory service time of the last quantum
+ * @param clusterThresh fraction of total usage granted to the latency
+ *        cluster (the paper's ClusterThresh, e.g. 4/24)
+ */
+ClusterResult clusterThreads(const std::vector<double> &scaledMpki,
+                             const std::vector<std::uint64_t> &bwUsage,
+                             double clusterThresh);
+
+} // namespace tcm::sched

@@ -1,0 +1,53 @@
+#include "sched/tcm/hw_cost.hpp"
+
+#include <cmath>
+
+namespace tcm::sched {
+
+namespace {
+
+std::uint64_t
+log2ceil(std::uint64_t v)
+{
+    std::uint64_t bits = 0;
+    std::uint64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+std::uint64_t
+HwCost::total() const
+{
+    return mpkiCounters + loadCounters + blpCounters + blpAverage +
+           shadowRowIndices + shadowHitCounters;
+}
+
+std::uint64_t
+HwCost::totalRandomShuffleOnly() const
+{
+    // Random shuffling needs neither BLP nor RBL monitoring; only memory
+    // intensity (for clustering) remains.
+    return mpkiCounters;
+}
+
+HwCost
+monitoringCost(const HwCostConfig &c)
+{
+    HwCost cost{};
+    auto nt = static_cast<std::uint64_t>(c.numThreads);
+    auto nb = static_cast<std::uint64_t>(c.numBanks);
+    cost.mpkiCounters = nt * log2ceil(c.mpkiMax);
+    cost.loadCounters = nt * nb * log2ceil(c.queueMax);
+    cost.blpCounters = nt * log2ceil(c.numBanks);
+    cost.blpAverage = nt * log2ceil(c.numBanks);
+    cost.shadowRowIndices = nt * nb * log2ceil(c.numRows);
+    cost.shadowHitCounters = nt * nb * log2ceil(c.countMax);
+    return cost;
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analytic model of TCM's per-controller monitoring storage (Table 2).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace tcm::sched {
+
+/** System dimensions the storage cost depends on. */
+struct HwCostConfig
+{
+    int numThreads = 24;
+    int numBanks = 4;       //!< banks per controller
+    int mpkiMax = 1024;     //!< MPKI counter saturation value
+    int queueMax = 64;      //!< per-bank load counter saturation
+    int numRows = 16384;    //!< rows per bank (shadow row index width)
+    int countMax = 1 << 16; //!< shadow hit counter saturation (2^16)
+};
+
+/** Per-category storage, in bits, for one memory controller. */
+struct HwCost
+{
+    std::uint64_t mpkiCounters;      //!< memory intensity
+    std::uint64_t loadCounters;      //!< BLP: per-thread-per-bank loads
+    std::uint64_t blpCounters;       //!< BLP: banks-with-load counters
+    std::uint64_t blpAverage;        //!< BLP: running average registers
+    std::uint64_t shadowRowIndices;  //!< RBL: shadow row-buffer indices
+    std::uint64_t shadowHitCounters; //!< RBL: shadow hit counters
+
+    std::uint64_t total() const;
+
+    /** Storage when pure random shuffling is used (no BLP/RBL monitors). */
+    std::uint64_t totalRandomShuffleOnly() const;
+};
+
+/**
+ * Table 2's formulas:
+ *   MPKI counters:      Nthread * log2(MPKImax)
+ *   Load counters:      Nthread * Nbank * log2(Queuemax)
+ *   BLP counters:       Nthread * log2(Nbank)
+ *   BLP average:        Nthread * log2(Nbank)
+ *   Shadow row index:   Nthread * Nbank * log2(Nrows)
+ *   Shadow row hits:    Nthread * Nbank * log2(Countmax)
+ */
+HwCost monitoringCost(const HwCostConfig &config);
+
+} // namespace tcm::sched

@@ -1,0 +1,127 @@
+#include "sched/tcm/monitor.hpp"
+
+#include <cassert>
+
+namespace tcm::sched {
+
+void
+ThreadBankMonitor::configure(int numThreads, int numBanks,
+                             int channelStride)
+{
+    numThreads_ = numThreads;
+    numBanks_ = numBanks;
+    channelStride_ = channelStride;
+    load_.assign(static_cast<std::size_t>(numThreads) * numBanks, 0);
+    banksWithLoad_.assign(numThreads, 0);
+    outstanding_.assign(numThreads, 0);
+    blpArea_.assign(numThreads, 0.0);
+    blpBusyTime_.assign(numThreads, 0.0);
+    lastChangeAt_.assign(numThreads, 0);
+    shadowRow_.assign(static_cast<std::size_t>(numThreads) * numBanks,
+                      kNoRow);
+    shadowHits_.assign(numThreads, 0);
+    accesses_.assign(numThreads, 0);
+    serviceCycles_.assign(numThreads, 0);
+}
+
+void
+ThreadBankMonitor::integrate(ThreadId t, Cycle now) const
+{
+    // Departures are stamped at burst-end, so events can arrive with
+    // slightly out-of-order timestamps across channels; never integrate
+    // or rewind over a negative interval.
+    Cycle last = lastChangeAt_[t];
+    if (now <= last)
+        return;
+    if (banksWithLoad_[t] > 0) {
+        double dt = static_cast<double>(now - last);
+        blpArea_[t] += banksWithLoad_[t] * dt;
+        blpBusyTime_[t] += dt;
+    }
+    lastChangeAt_[t] = now;
+}
+
+void
+ThreadBankMonitor::onArrival(const mem::Request &req, Cycle now)
+{
+    if (req.isWrite)
+        return;
+    ThreadId t = req.thread;
+    int bank = bankIndex(req);
+    integrate(t, now);
+
+    int &load = load_[static_cast<std::size_t>(t) * numBanks_ + bank];
+    if (load == 0)
+        ++banksWithLoad_[t];
+    ++load;
+    ++outstanding_[t];
+
+    // Shadow row-buffer: the row that would be open if t ran alone.
+    RowId &shadow =
+        shadowRow_[static_cast<std::size_t>(t) * numBanks_ + bank];
+    if (shadow == req.row)
+        ++shadowHits_[t];
+    shadow = req.row;
+    ++accesses_[t];
+}
+
+void
+ThreadBankMonitor::onDepart(const mem::Request &req, Cycle now)
+{
+    if (req.isWrite)
+        return;
+    ThreadId t = req.thread;
+    integrate(t, now);
+
+    int &load =
+        load_[static_cast<std::size_t>(t) * numBanks_ + bankIndex(req)];
+    assert(load > 0);
+    --load;
+    if (load == 0)
+        --banksWithLoad_[t];
+    --outstanding_[t];
+}
+
+void
+ThreadBankMonitor::addService(ThreadId thread, Cycle occupancy)
+{
+    serviceCycles_[thread] += occupancy;
+}
+
+ThreadBankMonitor::Snapshot
+ThreadBankMonitor::snapshot(Cycle now) const
+{
+    Snapshot s;
+    s.blp.resize(numThreads_);
+    s.rbl.resize(numThreads_);
+    s.accesses.resize(numThreads_);
+    s.serviceCycles.resize(numThreads_);
+    for (ThreadId t = 0; t < numThreads_; ++t) {
+        integrate(t, now);
+        s.blp[t] = blpBusyTime_[t] > 0.0 ? blpArea_[t] / blpBusyTime_[t]
+                                         : 0.0;
+        s.rbl[t] = accesses_[t] > 0
+                       ? static_cast<double>(shadowHits_[t]) / accesses_[t]
+                       : 0.0;
+        s.accesses[t] = accesses_[t];
+        s.serviceCycles[t] = serviceCycles_[t];
+    }
+    return s;
+}
+
+void
+ThreadBankMonitor::reset(Cycle now)
+{
+    for (ThreadId t = 0; t < numThreads_; ++t) {
+        blpArea_[t] = 0.0;
+        blpBusyTime_[t] = 0.0;
+        lastChangeAt_[t] = now;
+        shadowHits_[t] = 0;
+        accesses_[t] = 0;
+        serviceCycles_[t] = 0;
+    }
+    // Load counters and shadow rows persist: they describe queue state
+    // and alone-run row-buffer contents, not per-quantum accumulation.
+}
+
+} // namespace tcm::sched

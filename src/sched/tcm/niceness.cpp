@@ -1,0 +1,28 @@
+#include "sched/tcm/niceness.hpp"
+
+#include "sched/scheduler.hpp"
+
+namespace tcm::sched {
+
+std::vector<double>
+computeNiceness(const std::vector<double> &blp,
+                const std::vector<double> &rbl,
+                const std::vector<ThreadId> &cluster, int numThreads)
+{
+    std::vector<double> clusterBlp, clusterRbl;
+    clusterBlp.reserve(cluster.size());
+    clusterRbl.reserve(cluster.size());
+    for (ThreadId t : cluster) {
+        clusterBlp.push_back(blp[t]);
+        clusterRbl.push_back(rbl[t]);
+    }
+    std::vector<int> blpPos = ascendingPositions(clusterBlp);
+    std::vector<int> rblPos = ascendingPositions(clusterRbl);
+
+    std::vector<double> niceness(numThreads, 0.0);
+    for (std::size_t i = 0; i < cluster.size(); ++i)
+        niceness[cluster[i]] = static_cast<double>(blpPos[i] - rblPos[i]);
+    return niceness;
+}
+
+} // namespace tcm::sched

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * TCM's niceness metric (paper Section 3.3).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcm::sched {
+
+/**
+ * Niceness of each thread in the bandwidth-sensitive cluster:
+ *
+ *     Niceness_i = rank_by_BLP(i) - rank_by_RBL(i)
+ *
+ * where rank_by_X(i) counts how many cluster members have a *lower* X
+ * than thread i. A thread with high bank-level parallelism is fragile
+ * (nice: it suffers when banks are congested); a thread with high
+ * row-buffer locality is hostile (not nice: it congests banks). So
+ * niceness rises with relative BLP and falls with relative RBL —
+ * the prose semantics of the paper's formula.
+ *
+ * @return niceness per thread id (threads outside @p cluster get 0).
+ */
+std::vector<double> computeNiceness(const std::vector<double> &blp,
+                                    const std::vector<double> &rbl,
+                                    const std::vector<ThreadId> &cluster,
+                                    int numThreads);
+
+} // namespace tcm::sched

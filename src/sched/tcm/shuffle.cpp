@@ -1,0 +1,160 @@
+#include "sched/tcm/shuffle.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::sched {
+
+const char *
+shuffleModeName(ShuffleMode mode)
+{
+    switch (mode) {
+      case ShuffleMode::Dynamic: return "dynamic";
+      case ShuffleMode::Insertion: return "insertion";
+      case ShuffleMode::Random: return "random";
+      case ShuffleMode::RoundRobin: return "round-robin";
+    }
+    return "?";
+}
+
+ShuffleState::ShuffleState(std::vector<ThreadId> threads,
+                           const std::vector<double> &niceness,
+                           const std::vector<int> &weights,
+                           ShuffleMode mode, Pcg32 *rng)
+    : order_(std::move(threads)),
+      niceness_(niceness),
+      weights_(weights),
+      mode_(mode),
+      rng_(rng)
+{
+    assert(mode_ != ShuffleMode::Dynamic && "resolve Dynamic before use");
+    // Initialization of Algorithm 2: nicest thread highest ranked.
+    incSort(0, static_cast<int>(order_.size()) - 1);
+    phase_ = 0;
+    cursor_ = static_cast<int>(order_.size()) - 1;
+}
+
+bool
+ShuffleState::weighted() const
+{
+    if (order_.empty())
+        return false;
+    int w0 = weights_[order_[0]];
+    for (ThreadId t : order_)
+        if (weights_[t] != w0)
+            return true;
+    return false;
+}
+
+void
+ShuffleState::incSort(int lo, int hi)
+{
+    if (lo >= hi)
+        return;
+    std::stable_sort(order_.begin() + lo, order_.begin() + hi + 1,
+                     [&](ThreadId a, ThreadId b) {
+                         if (niceness_[a] != niceness_[b])
+                             return niceness_[a] < niceness_[b];
+                         return a < b;
+                     });
+}
+
+void
+ShuffleState::decSort(int lo, int hi)
+{
+    if (lo >= hi)
+        return;
+    std::stable_sort(order_.begin() + lo, order_.begin() + hi + 1,
+                     [&](ThreadId a, ThreadId b) {
+                         if (niceness_[a] != niceness_[b])
+                             return niceness_[a] > niceness_[b];
+                         return a > b;
+                     });
+}
+
+void
+ShuffleState::randomPermutation()
+{
+    // Fisher-Yates driven by the deterministic PCG stream.
+    for (int i = static_cast<int>(order_.size()) - 1; i > 0; --i) {
+        int j = static_cast<int>(rng_->nextBelow(i + 1));
+        std::swap(order_[i], order_[j]);
+    }
+}
+
+void
+ShuffleState::weightedPermutation()
+{
+    // Fill from the highest-priority position down, picking each thread
+    // with probability proportional to its weight: the time a thread
+    // spends at the top is then proportional to its weight (Section 3.6).
+    std::vector<ThreadId> pool = order_;
+    int pos = static_cast<int>(order_.size()) - 1;
+    while (!pool.empty()) {
+        double total = 0.0;
+        for (ThreadId t : pool)
+            total += weights_[t];
+        double pick = rng_->nextDouble() * total;
+        std::size_t chosen = 0;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            acc += weights_[pool[i]];
+            if (pick < acc) {
+                chosen = i;
+                break;
+            }
+        }
+        order_[pos--] = pool[chosen];
+        pool.erase(pool.begin() + chosen);
+    }
+}
+
+void
+ShuffleState::updateNiceness(const std::vector<double> &niceness)
+{
+    niceness_ = niceness;
+}
+
+void
+ShuffleState::step()
+{
+    const int n = static_cast<int>(order_.size());
+    if (n <= 1)
+        return;
+
+    if (weighted()) {
+        weightedPermutation();
+        return;
+    }
+
+    switch (mode_) {
+      case ShuffleMode::Random:
+        randomPermutation();
+        return;
+      case ShuffleMode::RoundRobin:
+        std::rotate(order_.begin(), order_.begin() + 1, order_.end());
+        return;
+      case ShuffleMode::Insertion:
+        break;
+      case ShuffleMode::Dynamic:
+        return; // unreachable (asserted in constructor)
+    }
+
+    if (phase_ == 0) {
+        decSort(cursor_, n - 1);
+        --cursor_;
+        if (cursor_ < 0) {
+            phase_ = 1;
+            cursor_ = 0;
+        }
+    } else {
+        incSort(0, cursor_);
+        ++cursor_;
+        if (cursor_ >= n) {
+            phase_ = 0;
+            cursor_ = n - 1;
+        }
+    }
+}
+
+} // namespace tcm::sched

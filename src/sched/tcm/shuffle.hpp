@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Priority-order shuffling for the bandwidth-sensitive cluster.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace tcm::sched {
+
+/** Which shuffling algorithm the bandwidth-sensitive cluster uses. */
+enum class ShuffleMode
+{
+    Dynamic,   //!< TCM: insertion when heterogeneous, random otherwise
+    Insertion, //!< always insertion shuffle (Algorithm 2)
+    Random,    //!< always a fresh random permutation
+    RoundRobin //!< rotate the order by one position
+};
+
+/** Human-readable mode name. */
+const char *shuffleModeName(ShuffleMode mode);
+
+/**
+ * Maintains the priority order of the bandwidth-sensitive cluster and
+ * advances it one step per ShuffleInterval.
+ *
+ * The order is a vector of thread ids from lowest priority (front) to
+ * highest priority (back). Insertion shuffle follows the paper's
+ * Algorithm 2 exactly: starting from the niceness-ascending order
+ * (nicest thread at the highest-priority position), a first phase runs
+ * decSort(i..N) for i = N down to 1 and a second phase runs
+ * incSort(1..i) for i = 1 to N, one sort per interval, then repeats.
+ * The intermediate states visit the permutation sequence of Figure 3(b),
+ * keeping the least nice thread at low priority most of the time.
+ */
+class ShuffleState
+{
+  public:
+    /**
+     * @param threads   cluster members
+     * @param niceness  per-thread-id niceness values
+     * @param weights   per-thread-id OS weights (all 1 = unweighted)
+     * @param mode      algorithm (Dynamic must be resolved by the caller
+     *                  to Insertion or Random before constructing)
+     * @param rng       randomness source for Random mode
+     */
+    ShuffleState(std::vector<ThreadId> threads,
+                 const std::vector<double> &niceness,
+                 const std::vector<int> &weights, ShuffleMode mode,
+                 Pcg32 *rng);
+
+    /** Advance one ShuffleInterval. */
+    void step();
+
+    /**
+     * Refresh the niceness values (new quantum, same cluster members)
+     * without restarting the rotation. Keeping the rotation phase across
+     * quanta matters when a quantum holds only a few full rotations:
+     * restarting would pin every thread to the same schedule each
+     * quantum and reintroduce systematic unfairness.
+     */
+    void updateNiceness(const std::vector<double> &niceness);
+
+    /** Current order: index 0 = lowest priority, back = highest. */
+    const std::vector<ThreadId> &order() const { return order_; }
+
+    ShuffleMode mode() const { return mode_; }
+
+  private:
+    void incSort(int lo, int hi);
+    void decSort(int lo, int hi);
+    void randomPermutation();
+    void weightedPermutation();
+    bool weighted() const;
+
+    std::vector<ThreadId> order_;
+    std::vector<double> niceness_;
+    std::vector<int> weights_;
+    ShuffleMode mode_;
+    Pcg32 *rng_;
+
+    // Insertion-shuffle cursor: phase 0 runs i = N-1 .. 0 (decSort),
+    // phase 1 runs i = 0 .. N-1 (incSort), 0-based.
+    int phase_ = 0;
+    int cursor_ = 0;
+};
+
+} // namespace tcm::sched

@@ -1,0 +1,31 @@
+#include "sim/alone_cache.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace tcm::sim {
+
+AloneIpcCache::AloneIpcCache(const SystemConfig &config, Cycle warmup,
+                             Cycle measure)
+    : config_(config), warmup_(warmup), measure_(measure)
+{
+}
+
+double
+AloneIpcCache::aloneIpc(const workload::ThreadProfile &profile)
+{
+    Key key{profile.mpki, profile.rbl, profile.blp, profile.writeFraction};
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    workload::ThreadProfile alone = profile;
+    alone.weight = 1; // weights are meaningless without competitors
+    Simulator sim(config_, {alone}, sched::SchedulerSpec::frfcfs(),
+                  /*seed=*/42);
+    sim.run(warmup_, measure_);
+    double ipc = sim.measuredIpc(0);
+    cache_.emplace(key, ipc);
+    return ipc;
+}
+
+} // namespace tcm::sim

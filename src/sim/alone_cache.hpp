@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memoized alone-run IPC (the denominators of every paper metric).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/types.hpp"
+#include "sim/system_config.hpp"
+#include "workload/profile.hpp"
+
+namespace tcm::sim {
+
+/**
+ * Weighted speedup and maximum slowdown both divide by each thread's IPC
+ * when running alone on the same system. That IPC depends only on the
+ * thread's profile and the system configuration, so one cache instance
+ * per configuration memoizes it across all workloads of an experiment —
+ * the dominant cost saving that makes the 96-workload sweeps tractable.
+ *
+ * The alone run uses FR-FCFS (the scheduler is irrelevant without
+ * contention) and a canonical trace seed; shared runs use per-instance
+ * seeds, which changes addresses but not the stream's statistics.
+ */
+class AloneIpcCache
+{
+  public:
+    AloneIpcCache(const SystemConfig &config, Cycle warmup, Cycle measure);
+
+    /** Alone IPC of @p profile, simulating on first use. */
+    double aloneIpc(const workload::ThreadProfile &profile);
+
+    /** Number of memoized entries (tests). */
+    std::size_t size() const { return cache_.size(); }
+
+  private:
+    using Key = std::tuple<double, double, double, double>;
+
+    SystemConfig config_;
+    Cycle warmup_;
+    Cycle measure_;
+    std::map<Key, double> cache_;
+};
+
+} // namespace tcm::sim

@@ -1,0 +1,83 @@
+#include "sim/experiment.hpp"
+
+#include "common/env.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcm::sim {
+
+ExperimentScale
+ExperimentScale::fromEnv()
+{
+    ExperimentScale s;
+    s.measure = static_cast<Cycle>(envInt("TCMSIM_CYCLES", 300'000));
+    s.warmup = static_cast<Cycle>(envInt("TCMSIM_WARMUP", 50'000));
+    s.workloadsPerCategory =
+        static_cast<int>(envInt("TCMSIM_WORKLOADS", 8));
+    return s;
+}
+
+RunResult
+runWorkload(const SystemConfig &config,
+            const std::vector<workload::ThreadProfile> &mix,
+            sched::SchedulerSpec spec, const ExperimentScale &scale,
+            AloneIpcCache &cache, std::uint64_t seed)
+{
+    spec.scaleToRun(scale.measure);
+
+    Simulator sim(config, mix, spec, seed);
+    sim.run(scale.warmup, scale.measure);
+
+    RunResult result;
+    result.ipcShared.reserve(mix.size());
+    result.ipcAlone.reserve(mix.size());
+    for (ThreadId t = 0; t < static_cast<ThreadId>(mix.size()); ++t) {
+        result.ipcShared.push_back(sim.measuredIpc(t));
+        result.ipcAlone.push_back(cache.aloneIpc(mix[t]));
+    }
+    result.metrics =
+        metrics::computeMetrics(result.ipcAlone, result.ipcShared);
+    return result;
+}
+
+AggregateResult
+evaluateSet(const SystemConfig &config,
+            const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+            const sched::SchedulerSpec &spec, const ExperimentScale &scale,
+            AloneIpcCache &cache, std::uint64_t baseSeed)
+{
+    AggregateResult agg;
+    agg.scheduler = spec.name();
+    std::uint64_t seed = baseSeed;
+    for (const auto &mix : workloads) {
+        RunResult r = runWorkload(config, mix, spec, scale, cache, seed++);
+        agg.weightedSpeedup.add(r.metrics.weightedSpeedup);
+        agg.maxSlowdown.add(r.metrics.maxSlowdown);
+        agg.harmonicSpeedup.add(r.metrics.harmonicSpeedup);
+    }
+    return agg;
+}
+
+std::vector<sched::SchedulerSpec>
+paperSchedulers()
+{
+    return {
+        sched::SchedulerSpec::frfcfs(),
+        sched::SchedulerSpec::stfmSpec(),
+        sched::SchedulerSpec::parbsSpec(),
+        sched::SchedulerSpec::atlasSpec(),
+        sched::SchedulerSpec::tcmSpec(),
+    };
+}
+
+std::vector<sched::SchedulerSpec>
+priorSchedulers()
+{
+    return {
+        sched::SchedulerSpec::frfcfs(),
+        sched::SchedulerSpec::stfmSpec(),
+        sched::SchedulerSpec::parbsSpec(),
+        sched::SchedulerSpec::atlasSpec(),
+    };
+}
+
+} // namespace tcm::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment drivers: run workloads under schedulers, produce metrics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/running_stat.hpp"
+#include "metrics/metrics.hpp"
+#include "sched/factory.hpp"
+#include "sim/alone_cache.hpp"
+#include "sim/system_config.hpp"
+#include "workload/profile.hpp"
+
+namespace tcm::sim {
+
+/** Run-length knobs, shared by all benches; overridable via environment:
+ *  TCMSIM_CYCLES (measured cycles), TCMSIM_WARMUP, TCMSIM_WORKLOADS
+ *  (workloads per intensity category). */
+struct ExperimentScale
+{
+    Cycle warmup = 50'000;
+    Cycle measure = 300'000;
+    int workloadsPerCategory = 8;
+
+    /** Defaults above, overridden from the environment. */
+    static ExperimentScale fromEnv();
+};
+
+/** Result of one (workload, scheduler) simulation. */
+struct RunResult
+{
+    std::vector<double> ipcShared;
+    std::vector<double> ipcAlone;
+    metrics::WorkloadMetrics metrics;
+};
+
+/**
+ * Simulate @p mix under @p spec (time-scaled to the run length) and
+ * compute the paper's metrics against memoized alone IPCs.
+ */
+RunResult runWorkload(const SystemConfig &config,
+                      const std::vector<workload::ThreadProfile> &mix,
+                      sched::SchedulerSpec spec, const ExperimentScale &scale,
+                      AloneIpcCache &cache, std::uint64_t seed);
+
+/** Aggregate metrics of one scheduler over a set of workloads. */
+struct AggregateResult
+{
+    std::string scheduler;
+    RunningStat weightedSpeedup;
+    RunningStat maxSlowdown;
+    RunningStat harmonicSpeedup;
+};
+
+/** Evaluate @p spec on every workload in @p workloads. */
+AggregateResult
+evaluateSet(const SystemConfig &config,
+            const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+            const sched::SchedulerSpec &spec, const ExperimentScale &scale,
+            AloneIpcCache &cache, std::uint64_t baseSeed);
+
+/** The five schedulers of the paper's headline comparison (Figure 4). */
+std::vector<sched::SchedulerSpec> paperSchedulers();
+
+/** The four prior schedulers of the motivation plot (Figure 1). */
+std::vector<sched::SchedulerSpec> priorSchedulers();
+
+} // namespace tcm::sim

@@ -1,0 +1,151 @@
+#include "sim/report.hpp"
+
+#include <stdexcept>
+
+#include "dram/energy.hpp"
+#include "stats/histogram.hpp"
+
+namespace tcm::sim {
+
+SystemReport
+SystemReport::collect(const Simulator &sim,
+                      const std::vector<std::string> &threadNames)
+{
+    SystemReport report;
+    report.measuredCycles = sim.measuredCycles();
+    report.scheduler = sim.scheduler().name();
+
+    const SystemConfig &cfg = sim.config();
+    const int numThreads = sim.numThreads();
+
+    for (ThreadId t = 0; t < numThreads; ++t) {
+        ThreadReport tr;
+        tr.id = t;
+        tr.name = t < static_cast<ThreadId>(threadNames.size())
+                      ? threadNames[t]
+                      : "t" + std::to_string(t);
+        auto b = sim.behavior(t);
+        tr.ipc = b.ipc;
+        tr.mpki = b.mpki;
+        tr.rbl = b.rbl;
+        tr.blp = b.blp;
+
+        // Merge latency across channels (shared bucket ladder).
+        stats::Histogram merged = sim.latency(0).threadHistogram(t);
+        double weighted_mean = merged.mean() * merged.count();
+        std::uint64_t n = merged.count();
+        for (ChannelId ch = 1; ch < cfg.numChannels; ++ch) {
+            const stats::Histogram &h =
+                sim.latency(ch).threadHistogram(t);
+            weighted_mean += h.mean() * h.count();
+            n += h.count();
+            merged.merge(h);
+        }
+        tr.reads = n;
+        tr.latencyMean = n ? weighted_mean / static_cast<double>(n) : 0.0;
+        tr.latencyP50 = merged.percentile(0.50);
+        tr.latencyP99 = merged.percentile(0.99);
+        tr.latencyMax = merged.max();
+        report.threads.push_back(tr);
+    }
+
+    dram::EnergyParams energy = dram::EnergyParams::ddr2_800();
+    for (ChannelId ch = 0; ch < cfg.numChannels; ++ch) {
+        const mem::ControllerStats &s = sim.controllerStats(ch);
+        ChannelReport cr;
+        cr.id = ch;
+        cr.reads = s.readsServiced;
+        cr.writes = s.writesServiced;
+        cr.activates = s.activates;
+        cr.refreshes = s.refreshes;
+        std::uint64_t cols = s.readsServiced + s.writesServiced;
+        cr.rowHitRate =
+            cols ? static_cast<double>(s.rowHits) / cols : 0.0;
+        double budget = static_cast<double>(report.measuredCycles) *
+                        cfg.timing.banksPerChannel;
+        cr.bankUtilization =
+            budget > 0.0 ? static_cast<double>(s.bankBusyCycles) / budget
+                         : 0.0;
+        cr.averagePowerMw =
+            dram::computeEnergy(energy, sim.commandCounts(ch),
+                                report.measuredCycles,
+                                cfg.timing.banksPerChannel)
+                .averageMw(report.measuredCycles);
+        report.channels.push_back(cr);
+    }
+    return report;
+}
+
+void
+SystemReport::print(std::FILE *out) const
+{
+    std::fprintf(out,
+                 "system report: scheduler=%s, measured %llu cycles\n",
+                 scheduler.c_str(),
+                 static_cast<unsigned long long>(measuredCycles));
+    std::fprintf(out,
+                 "%-4s %-12s %7s %8s %6s %6s %9s | %9s %9s %9s %9s\n",
+                 "id", "thread", "IPC", "MPKI", "RBL", "BLP", "reads",
+                 "lat.mean", "lat.p50", "lat.p99", "lat.max");
+    for (const ThreadReport &t : threads) {
+        std::fprintf(out,
+                     "%-4d %-12s %7.3f %8.2f %6.3f %6.2f %9llu | %9.0f "
+                     "%9.0f %9.0f %9.0f\n",
+                     t.id, t.name.c_str(), t.ipc, t.mpki, t.rbl, t.blp,
+                     static_cast<unsigned long long>(t.reads),
+                     t.latencyMean, t.latencyP50, t.latencyP99,
+                     t.latencyMax);
+    }
+    std::fprintf(out, "%-4s %9s %9s %9s %5s %8s %8s %9s\n", "ch", "reads",
+                 "writes", "ACTs", "REFs", "rowhit%", "util%", "power mW");
+    for (const ChannelReport &c : channels) {
+        std::fprintf(out,
+                     "%-4d %9llu %9llu %9llu %5llu %7.1f%% %7.1f%% %9.1f\n",
+                     c.id, static_cast<unsigned long long>(c.reads),
+                     static_cast<unsigned long long>(c.writes),
+                     static_cast<unsigned long long>(c.activates),
+                     static_cast<unsigned long long>(c.refreshes),
+                     100.0 * c.rowHitRate, 100.0 * c.bankUtilization,
+                     c.averagePowerMw);
+    }
+}
+
+void
+SystemReport::writeCsv(const std::string &prefix) const
+{
+    {
+        std::string path = prefix + "_threads.csv";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            throw std::runtime_error("cannot write " + path);
+        std::fprintf(f, "id,name,ipc,mpki,rbl,blp,reads,lat_mean,lat_p50,"
+                        "lat_p99,lat_max\n");
+        for (const ThreadReport &t : threads)
+            std::fprintf(f, "%d,%s,%.6f,%.4f,%.4f,%.4f,%llu,%.1f,%.1f,"
+                            "%.1f,%.1f\n",
+                         t.id, t.name.c_str(), t.ipc, t.mpki, t.rbl, t.blp,
+                         static_cast<unsigned long long>(t.reads),
+                         t.latencyMean, t.latencyP50, t.latencyP99,
+                         t.latencyMax);
+        std::fclose(f);
+    }
+    {
+        std::string path = prefix + "_channels.csv";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            throw std::runtime_error("cannot write " + path);
+        std::fprintf(f, "id,reads,writes,activates,refreshes,row_hit_rate,"
+                        "bank_utilization,avg_power_mw\n");
+        for (const ChannelReport &c : channels)
+            std::fprintf(f, "%d,%llu,%llu,%llu,%llu,%.4f,%.4f,%.2f\n",
+                         c.id, static_cast<unsigned long long>(c.reads),
+                         static_cast<unsigned long long>(c.writes),
+                         static_cast<unsigned long long>(c.activates),
+                         static_cast<unsigned long long>(c.refreshes),
+                         c.rowHitRate, c.bankUtilization,
+                         c.averagePowerMw);
+        std::fclose(f);
+    }
+}
+
+} // namespace tcm::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structured post-run reporting: per-thread and per-channel statistics
+ * as printable tables or CSV files (for external plotting).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcm::sim {
+
+/** One thread's row in a report. */
+struct ThreadReport
+{
+    ThreadId id = 0;
+    std::string name;
+    double ipc = 0.0;
+    double mpki = 0.0;
+    double rbl = 0.0; //!< 0 unless the simulator ran with a probe
+    double blp = 0.0; //!< 0 unless the simulator ran with a probe
+    std::uint64_t reads = 0;
+    double latencyMean = 0.0;
+    double latencyP50 = 0.0;
+    double latencyP99 = 0.0;
+    double latencyMax = 0.0;
+};
+
+/** One channel's row in a report. */
+struct ChannelReport
+{
+    ChannelId id = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t refreshes = 0;
+    double rowHitRate = 0.0;
+    double bankUtilization = 0.0; //!< busy cycles / (banks x cycles)
+    double averagePowerMw = 0.0;
+};
+
+/** Everything a post-run analysis needs, in one value type. */
+struct SystemReport
+{
+    Cycle measuredCycles = 0;
+    std::string scheduler;
+    std::vector<ThreadReport> threads;
+    std::vector<ChannelReport> channels;
+
+    /**
+     * Gather a report from a finished simulation. @p threadNames
+     * labels rows (falls back to "t<N>").
+     */
+    static SystemReport collect(const Simulator &sim,
+                                const std::vector<std::string> &threadNames
+                                = {});
+
+    /** Human-readable tables. */
+    void print(std::FILE *out) const;
+
+    /**
+     * Write `<prefix>_threads.csv` and `<prefix>_channels.csv`.
+     * Throws std::runtime_error on I/O failure.
+     */
+    void writeCsv(const std::string &prefix) const;
+};
+
+} // namespace tcm::sim

@@ -1,0 +1,200 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace tcm::sim {
+
+namespace {
+
+/** splitmix64: decorrelate per-thread trace seeds from the run seed. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Simulator::Simulator(const SystemConfig &config,
+                     const std::vector<workload::ThreadProfile> &profiles,
+                     const sched::SchedulerSpec &spec, std::uint64_t seed,
+                     bool enableProbe)
+    : config_(config)
+{
+    std::vector<std::unique_ptr<core::TraceSource>> traces;
+    std::vector<int> weights;
+    traces.reserve(profiles.size());
+    weights.reserve(profiles.size());
+    for (std::size_t t = 0; t < profiles.size(); ++t) {
+        workload::ThreadProfile p = profiles[t];
+        p.mpki *= config_.mpkiScale;
+        traces.push_back(std::make_unique<workload::SyntheticTrace>(
+            p, config_.geometry(), mixSeed(seed, t)));
+        weights.push_back(p.weight);
+    }
+    init(std::move(traces), spec, seed, enableProbe, weights);
+}
+
+Simulator::Simulator(const SystemConfig &config,
+                     std::vector<std::unique_ptr<core::TraceSource>> traces,
+                     const sched::SchedulerSpec &spec, std::uint64_t seed,
+                     bool enableProbe, std::vector<int> weights)
+    : config_(config)
+{
+    if (weights.empty())
+        weights.assign(traces.size(), 1);
+    init(std::move(traces), spec, seed, enableProbe, weights);
+}
+
+void
+Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
+                const sched::SchedulerSpec &spec, std::uint64_t seed,
+                bool enableProbe, const std::vector<int> &weights)
+{
+    const int numThreads = static_cast<int>(traces.size());
+    assert(static_cast<int>(weights.size()) == numThreads);
+    traces_ = std::move(traces);
+
+    policy_ = sched::makeScheduler(spec, seed);
+    mem::SchedulerPolicy *active = policy_.get();
+    if (enableProbe) {
+        probe_ = std::make_unique<ProbePolicy>(*policy_);
+        active = probe_.get();
+    }
+    active->configure(numThreads, config_.numChannels,
+                      config_.timing.banksPerChannel);
+
+    counters_.resize(numThreads);
+    active->setCoreCounters(&counters_);
+
+    bool anyWeight = false;
+    for (int w : weights)
+        anyWeight |= w != 1;
+    if (anyWeight)
+        active->setThreadWeights(weights);
+
+    controllers_.reserve(config_.numChannels);
+    for (ChannelId ch = 0; ch < config_.numChannels; ++ch) {
+        controllers_.push_back(std::make_unique<mem::MemoryController>(
+            ch, config_.timing, config_.controller, *active));
+        active->attachQueue(ch, controllers_.back().get());
+    }
+
+    std::vector<mem::MemoryController *> mcs;
+    for (auto &mc : controllers_)
+        mcs.push_back(mc.get());
+
+    cores_.reserve(numThreads);
+    for (ThreadId t = 0; t < numThreads; ++t) {
+        cores_.push_back(std::make_unique<core::Core>(
+            t, config_.core, *traces_[t], mcs, &counters_[t]));
+    }
+
+    baseInstructions_.assign(numThreads, 0);
+    baseMisses_.assign(numThreads, 0);
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::step(Cycle cycles)
+{
+    mem::SchedulerPolicy *active = probe_ ? static_cast<mem::SchedulerPolicy *>(
+                                                probe_.get())
+                                          : policy_.get();
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+        active->tick(now_);
+        for (auto &mc : controllers_) {
+            mc->tick(now_);
+            auto &comps = mc->completions();
+            if (!comps.empty()) {
+                for (const auto &c : comps)
+                    cores_[c.thread]->completeMiss(c.missId, c.readyAt);
+                comps.clear();
+            }
+        }
+        for (auto &core : cores_)
+            core->tick(now_);
+    }
+}
+
+void
+Simulator::beginMeasurement()
+{
+    measureStart_ = now_;
+    for (std::size_t t = 0; t < cores_.size(); ++t) {
+        baseInstructions_[t] = counters_[t].instructions;
+        baseMisses_[t] = counters_[t].readMisses;
+    }
+    for (auto &mc : controllers_)
+        mc->resetStats();
+    if (probe_)
+        probe_->resetProbe(now_);
+}
+
+void
+Simulator::run(Cycle warmup, Cycle measure)
+{
+    step(warmup);
+    beginMeasurement();
+    step(measure);
+}
+
+double
+Simulator::measuredIpc(ThreadId t) const
+{
+    Cycle elapsed = now_ - measureStart_;
+    if (elapsed == 0)
+        return 0.0;
+    std::uint64_t insts = counters_[t].instructions - baseInstructions_[t];
+    return static_cast<double>(insts) / static_cast<double>(elapsed);
+}
+
+Simulator::BehaviorStats
+Simulator::behavior(ThreadId t) const
+{
+    BehaviorStats b;
+    b.ipc = measuredIpc(t);
+    std::uint64_t insts = counters_[t].instructions - baseInstructions_[t];
+    std::uint64_t misses = counters_[t].readMisses - baseMisses_[t];
+    b.mpki = insts > 0 ? 1000.0 * static_cast<double>(misses) /
+                             static_cast<double>(insts)
+                       : 0.0;
+    if (probe_) {
+        auto s = probe_->monitor().snapshot(now_);
+        b.blp = s.blp[t];
+        b.rbl = s.rbl[t];
+    }
+    return b;
+}
+
+const mem::ControllerStats &
+Simulator::controllerStats(ChannelId ch) const
+{
+    return controllers_[ch]->stats();
+}
+
+const mem::LatencyTracker &
+Simulator::latency(ChannelId ch) const
+{
+    return controllers_[ch]->latency();
+}
+
+dram::CommandCounts
+Simulator::commandCounts(ChannelId ch) const
+{
+    const mem::ControllerStats &s = controllers_[ch]->stats();
+    dram::CommandCounts c;
+    c.activates = s.activates;
+    c.reads = s.readsServiced;
+    c.writes = s.writesServiced;
+    c.refreshes = s.refreshes;
+    c.bankBusyCycles = s.bankBusyCycles;
+    return c;
+}
+
+} // namespace tcm::sim

@@ -1,0 +1,16 @@
+#include "sim/system_config.hpp"
+
+namespace tcm::sim {
+
+workload::Geometry
+SystemConfig::geometry() const
+{
+    workload::Geometry g;
+    g.numChannels = numChannels;
+    g.banksPerChannel = timing.banksPerChannel;
+    g.rowsPerBank = timing.rowsPerBank;
+    g.colsPerRow = timing.colsPerRow;
+    return g;
+}
+
+} // namespace tcm::sim

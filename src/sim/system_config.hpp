@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Whole-system configuration (the paper's Table 3).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/core.hpp"
+#include "dram/timing.hpp"
+#include "mem/controller.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace tcm::sim {
+
+/**
+ * The baseline 24-core, 4-controller CMP of Table 3, with every knob the
+ * sensitivity studies (Table 8) vary.
+ */
+struct SystemConfig
+{
+    int numCores = 24;
+    int numChannels = 4;
+    dram::TimingParams timing = dram::TimingParams::ddr2_800();
+    core::CoreParams core;
+    mem::ControllerParams controller;
+
+    /**
+     * Models the Table 8 cache-size sweep: MPKI scales inversely-ish with
+     * last-level cache size; a factor of 1.0 is the 512 KB baseline,
+     * < 1.0 emulates a larger cache (fewer misses).
+     */
+    double mpkiScale = 1.0;
+
+    /** Geometry handed to the trace generator. */
+    workload::Geometry geometry() const;
+};
+
+} // namespace tcm::sim

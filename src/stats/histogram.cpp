@@ -1,0 +1,105 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::stats {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds))
+{
+    assert(!bounds_.empty());
+    assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram
+Histogram::exponential(double first, double factor, int buckets)
+{
+    assert(first > 0.0 && factor > 1.0 && buckets > 0);
+    std::vector<double> bounds;
+    bounds.reserve(buckets);
+    double b = first;
+    for (int i = 0; i < buckets; ++i) {
+        bounds.push_back(b);
+        b *= factor;
+    }
+    return Histogram(std::move(bounds));
+}
+
+void
+Histogram::add(double value)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[it - bounds_.begin()];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_)
+        min_ = value;
+    if (count_ == 1 || value > max_)
+        max_ = value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    assert(bounds_ == other.bounds_);
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    double target = p * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        double lo = static_cast<double>(cum);
+        cum += counts_[i];
+        if (static_cast<double>(cum) >= target) {
+            if (i == counts_.size() - 1)
+                return max_; // overflow bucket: report the observed max
+            double lower = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+            double upper = bounds_[i];
+            double frac = counts_[i] ? (target - lo) / counts_[i] : 0.0;
+            // The interpolation can overshoot the observed extremes when
+            // a bucket is sparsely filled; clamp to what was seen.
+            return std::clamp(lower + frac * (upper - lower), min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+} // namespace tcm::stats

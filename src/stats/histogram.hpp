@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bucketed histogram for latency distributions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tcm::stats {
+
+/**
+ * Fixed-bucket histogram with approximate percentiles. Buckets are
+ * defined by ascending upper bounds; values beyond the last bound land
+ * in an overflow bucket. Percentiles interpolate linearly within a
+ * bucket, which is accurate enough for latency reporting when buckets
+ * grow geometrically.
+ */
+class Histogram
+{
+  public:
+    /** @param upperBounds ascending bucket upper bounds (at least one). */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    /**
+     * Geometric bucket ladder: @p buckets buckets whose bounds start at
+     * @p first and multiply by @p factor — the usual shape for latency.
+     */
+    static Histogram exponential(double first, double factor, int buckets);
+
+    void add(double value);
+
+    /** Merge another histogram with identical bucket bounds. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Approximate p-th percentile (p in [0,1]). Returns 0 when empty.
+     * Values in the overflow bucket report the observed maximum.
+     */
+    double percentile(double p) const;
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_; //!< bounds_.size() + 1 (overflow)
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tcm::stats

@@ -1,0 +1,85 @@
+#include "workload/benchmark_table.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tcm::workload {
+
+namespace {
+
+ThreadProfile
+make(const char *name, double mpki, double rblPercent, double blp)
+{
+    ThreadProfile p;
+    p.name = name;
+    p.mpki = mpki;
+    p.rbl = rblPercent / 100.0;
+    p.blp = blp;
+    return p;
+}
+
+} // namespace
+
+const std::vector<ThreadProfile> &
+benchmarkTable()
+{
+    static const std::vector<ThreadProfile> table = {
+        make("mcf", 97.38, 42.41, 6.20),
+        make("libquantum", 50.00, 99.22, 1.05),
+        make("leslie3d", 49.35, 91.18, 1.51),
+        make("soplex", 46.70, 88.84, 1.79),
+        make("lbm", 43.52, 95.17, 2.82),
+        make("GemsFDTD", 31.79, 56.22, 3.15),
+        make("sphinx3", 24.94, 84.78, 2.24),
+        make("xalancbmk", 22.95, 72.01, 2.35),
+        make("omnetpp", 21.63, 45.71, 4.37),
+        make("cactusADM", 12.01, 19.05, 1.43),
+        make("astar", 9.26, 75.24, 1.61),
+        make("hmmer", 5.66, 34.42, 1.25),
+        make("bzip2", 3.98, 71.44, 1.87),
+        make("h264ref", 2.30, 90.34, 1.19),
+        make("gromacs", 0.98, 89.25, 1.54),
+        make("gobmk", 0.77, 65.76, 1.52),
+        make("sjeng", 0.39, 12.47, 1.57),
+        make("gcc", 0.34, 70.92, 1.96),
+        make("dealII", 0.21, 86.83, 1.22),
+        make("wrf", 0.21, 92.34, 1.23),
+        make("namd", 0.19, 93.05, 1.16),
+        make("perlbench", 0.12, 81.59, 1.66),
+        make("calculix", 0.10, 88.71, 1.20),
+        make("tonto", 0.03, 88.60, 1.81),
+        make("povray", 0.01, 87.22, 1.43),
+    };
+    return table;
+}
+
+ThreadProfile
+benchmarkProfile(std::string_view name)
+{
+    for (const ThreadProfile &p : benchmarkTable())
+        if (p.name == name)
+            return p;
+    throw std::out_of_range("unknown benchmark: " + std::string(name));
+}
+
+std::vector<ThreadProfile>
+intensiveBenchmarks()
+{
+    std::vector<ThreadProfile> out;
+    for (const ThreadProfile &p : benchmarkTable())
+        if (p.memoryIntensive())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<ThreadProfile>
+nonIntensiveBenchmarks()
+{
+    std::vector<ThreadProfile> out;
+    for (const ThreadProfile &p : benchmarkTable())
+        if (!p.memoryIntensive())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace tcm::workload

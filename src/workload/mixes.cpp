@@ -1,0 +1,162 @@
+#include "workload/mixes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "workload/benchmark_table.hpp"
+
+namespace tcm::workload {
+
+namespace {
+
+void
+addCopies(std::vector<ThreadProfile> &out, const char *name, int copies)
+{
+    ThreadProfile p = benchmarkProfile(name);
+    for (int i = 0; i < copies; ++i)
+        out.push_back(p);
+}
+
+} // namespace
+
+std::vector<ThreadProfile>
+tableFiveWorkload(char which)
+{
+    std::vector<ThreadProfile> w;
+    w.reserve(24);
+    switch (which) {
+      case 'A':
+        // non-intensive half
+        addCopies(w, "calculix", 3);
+        addCopies(w, "dealII", 1);
+        addCopies(w, "gcc", 1);
+        addCopies(w, "gromacs", 2);
+        addCopies(w, "namd", 1);
+        addCopies(w, "perlbench", 1);
+        addCopies(w, "povray", 1);
+        addCopies(w, "sjeng", 1);
+        addCopies(w, "tonto", 1);
+        // intensive half
+        addCopies(w, "mcf", 1);
+        addCopies(w, "soplex", 2);
+        addCopies(w, "lbm", 2);
+        addCopies(w, "leslie3d", 1);
+        addCopies(w, "sphinx3", 1);
+        addCopies(w, "xalancbmk", 1);
+        addCopies(w, "omnetpp", 1);
+        addCopies(w, "astar", 1);
+        addCopies(w, "hmmer", 2);
+        break;
+      case 'B':
+        addCopies(w, "gcc", 2);
+        addCopies(w, "gobmk", 3);
+        addCopies(w, "namd", 2);
+        addCopies(w, "perlbench", 3);
+        addCopies(w, "sjeng", 1);
+        addCopies(w, "wrf", 1);
+        addCopies(w, "bzip2", 2);
+        addCopies(w, "cactusADM", 3);
+        addCopies(w, "GemsFDTD", 1);
+        addCopies(w, "h264ref", 2);
+        addCopies(w, "hmmer", 1);
+        addCopies(w, "libquantum", 2);
+        addCopies(w, "sphinx3", 1);
+        break;
+      case 'C':
+        addCopies(w, "calculix", 2);
+        addCopies(w, "dealII", 2);
+        addCopies(w, "gromacs", 2);
+        addCopies(w, "namd", 1);
+        addCopies(w, "perlbench", 2);
+        addCopies(w, "povray", 1);
+        addCopies(w, "tonto", 1);
+        addCopies(w, "wrf", 1);
+        addCopies(w, "GemsFDTD", 2);
+        addCopies(w, "libquantum", 3);
+        addCopies(w, "cactusADM", 1);
+        addCopies(w, "astar", 1);
+        addCopies(w, "omnetpp", 1);
+        addCopies(w, "bzip2", 1);
+        addCopies(w, "soplex", 3);
+        break;
+      case 'D':
+        addCopies(w, "calculix", 1);
+        addCopies(w, "dealII", 1);
+        addCopies(w, "gcc", 1);
+        addCopies(w, "gromacs", 1);
+        addCopies(w, "perlbench", 1);
+        addCopies(w, "povray", 2);
+        addCopies(w, "sjeng", 2);
+        addCopies(w, "tonto", 3);
+        addCopies(w, "omnetpp", 1);
+        addCopies(w, "bzip2", 2);
+        addCopies(w, "h264ref", 1);
+        addCopies(w, "cactusADM", 1);
+        addCopies(w, "astar", 1);
+        addCopies(w, "soplex", 1);
+        addCopies(w, "lbm", 2);
+        addCopies(w, "leslie3d", 1);
+        addCopies(w, "xalancbmk", 2);
+        break;
+      default:
+        throw std::invalid_argument("tableFiveWorkload: expected 'A'..'D'");
+    }
+    return w;
+}
+
+std::vector<ThreadProfile>
+randomMix(int numThreads, double fracIntensive, std::uint64_t seed)
+{
+    const std::vector<ThreadProfile> intensive = intensiveBenchmarks();
+    const std::vector<ThreadProfile> light = nonIntensiveBenchmarks();
+    Pcg32 rng(seed, 0x5bd1e995u);
+
+    int numIntensive = static_cast<int>(
+        std::lround(fracIntensive * numThreads));
+    std::vector<ThreadProfile> w;
+    w.reserve(numThreads);
+    for (int i = 0; i < numIntensive; ++i)
+        w.push_back(intensive[rng.nextBelow(
+            static_cast<std::uint32_t>(intensive.size()))]);
+    for (int i = numIntensive; i < numThreads; ++i)
+        w.push_back(light[rng.nextBelow(
+            static_cast<std::uint32_t>(light.size()))]);
+    return w;
+}
+
+std::vector<std::vector<ThreadProfile>>
+workloadSet(int count, int numThreads, double fracIntensive,
+            std::uint64_t baseSeed)
+{
+    std::vector<std::vector<ThreadProfile>> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i)
+        out.push_back(randomMix(numThreads, fracIntensive,
+                                baseSeed + 1000003ULL * (i + 1)));
+    return out;
+}
+
+ThreadProfile
+randomAccessThread()
+{
+    ThreadProfile p;
+    p.name = "random-access";
+    p.mpki = 100.0;
+    p.rbl = 0.001;
+    p.blp = 11.6; // 72.7 % of 16 banks
+    return p;
+}
+
+ThreadProfile
+streamingThread()
+{
+    ThreadProfile p;
+    p.name = "streaming";
+    p.mpki = 100.0;
+    p.rbl = 0.99;
+    p.blp = 1.0; // 0.3 % of max -> effectively a single bank at a time
+    return p;
+}
+
+} // namespace tcm::workload

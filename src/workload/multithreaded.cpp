@@ -1,0 +1,99 @@
+#include "workload/multithreaded.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcm::workload {
+
+BarrierGroup::BarrierGroup(int numMembers,
+                           std::uint64_t instructionsPerPhase)
+    : instrPerPhase_(instructionsPerPhase), reached_(numMembers, 0)
+{
+    assert(numMembers > 0);
+    assert(instructionsPerPhase > 0);
+}
+
+void
+BarrierGroup::memberReached(int m, std::uint64_t phase)
+{
+    reached_[m] = std::max(reached_[m], phase);
+}
+
+bool
+BarrierGroup::phaseReleased(std::uint64_t phase) const
+{
+    for (std::uint64_t r : reached_)
+        if (r < phase)
+            return false;
+    return true;
+}
+
+std::uint64_t
+BarrierGroup::phasesCompleted() const
+{
+    return *std::min_element(reached_.begin(), reached_.end());
+}
+
+BarrierCoupledTrace::BarrierCoupledTrace(const ThreadProfile &profile,
+                                         const Geometry &geometry,
+                                         std::uint64_t seed,
+                                         BarrierGroup *group, int member,
+                                         ChannelId lockChannel,
+                                         BankId lockBank, RowId lockRow)
+    : inner_(profile, geometry, seed), group_(group), member_(member)
+{
+    lockLine_.isWrite = false;
+    lockLine_.channel = lockChannel;
+    lockLine_.bank = lockBank;
+    lockLine_.row = lockRow;
+    lockLine_.col = 0;
+}
+
+core::TraceItem
+BarrierCoupledTrace::next()
+{
+    // At a barrier: spin until the group releases the phase we completed.
+    if (instrThisPhase_ >= group_->instructionsPerPhase()) {
+        group_->memberReached(member_, phase_ + 1);
+        if (!group_->phaseReleased(phase_ + 1)) {
+            // Spin-wait: poll the lock line with a little compute between
+            // polls. These instructions are wait, not progress.
+            ++spinReads_;
+            core::TraceItem spin;
+            spin.gap = 200;
+            spin.access = lockLine_;
+            return spin;
+        }
+        ++phase_;
+        instrThisPhase_ = 0;
+    }
+
+    if (!havePending_) {
+        pending_ = inner_.next();
+        havePending_ = true;
+    }
+
+    // Emit the pending item, splitting it if it would cross the phase
+    // boundary (the barrier sits between instructions, so a long compute
+    // gap may need to be cut at the boundary).
+    std::uint64_t budget =
+        group_->instructionsPerPhase() - instrThisPhase_;
+    std::uint64_t itemInstructions =
+        pending_.gap + (pending_.access.isWrite ? 0 : 1);
+
+    if (itemInstructions > budget && pending_.gap >= budget) {
+        // Cut the gap at the barrier; the access stays pending.
+        core::TraceItem head;
+        head.gap = budget;
+        head.access = lockLine_; // the barrier's own synchronization read
+        pending_.gap -= budget;
+        instrThisPhase_ += budget;
+        return head;
+    }
+
+    instrThisPhase_ += itemInstructions;
+    havePending_ = false;
+    return pending_;
+}
+
+} // namespace tcm::workload

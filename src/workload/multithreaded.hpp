@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Barrier-coupled multithreaded workloads (paper Section 3.7).
+ *
+ * The paper distinguishes multithreaded applications whose threads run
+ * mostly independently (they behave like multiprogrammed mixes) from
+ * those that synchronize frequently, where execution time is set by the
+ * slowest — critical — thread. This module models the second kind: a
+ * BarrierGroup of threads that must all finish a phase of useful work
+ * before any may start the next one. Threads that arrive early spin on
+ * a shared lock line (occasional same-row reads), exactly the traffic a
+ * real spin-wait emits.
+ *
+ * The paper's proposed extension — "TCM can be extended to incorporate
+ * the notion of thread criticality to properly identify and prioritize
+ * critical threads" — maps onto the existing thread-weight support:
+ * give the lagging thread a higher weight and the whole group's phase
+ * rate improves (see examples/multithreaded_app.cpp).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "workload/profile.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace tcm::workload {
+
+/**
+ * Shared synchronization state of one multithreaded application.
+ * Threads report the phase they have completed; a phase is released
+ * when every member has completed it.
+ */
+class BarrierGroup
+{
+  public:
+    /**
+     * @param numMembers threads in the group
+     * @param instructionsPerPhase useful instructions per phase per thread
+     */
+    BarrierGroup(int numMembers, std::uint64_t instructionsPerPhase);
+
+    std::uint64_t instructionsPerPhase() const { return instrPerPhase_; }
+    int numMembers() const { return static_cast<int>(reached_.size()); }
+
+    /** Member @p m has completed phase @p phase. */
+    void memberReached(int m, std::uint64_t phase);
+
+    /** True if phase @p phase is released (all members completed it). */
+    bool phaseReleased(std::uint64_t phase) const;
+
+    /** Phases the whole group has completed (the app's progress metric). */
+    std::uint64_t phasesCompleted() const;
+
+  private:
+    std::uint64_t instrPerPhase_;
+    std::vector<std::uint64_t> reached_;
+};
+
+/**
+ * Wraps a SyntheticTrace in barrier semantics: after emitting
+ * instructionsPerPhase useful instructions, the thread must wait for its
+ * group; while waiting it emits spin items (a read of the group's lock
+ * line preceded by a small compute gap). Spin instructions do not count
+ * toward phase progress.
+ */
+class BarrierCoupledTrace : public core::TraceSource
+{
+  public:
+    /**
+     * @param member index of this thread within @p group
+     * @param lockChannel / lockBank / lockRow the shared lock line
+     */
+    BarrierCoupledTrace(const ThreadProfile &profile,
+                        const Geometry &geometry, std::uint64_t seed,
+                        BarrierGroup *group, int member,
+                        ChannelId lockChannel = 0, BankId lockBank = 0,
+                        RowId lockRow = 0);
+
+    core::TraceItem next() override;
+
+    std::uint64_t spinReads() const { return spinReads_; }
+
+  private:
+    SyntheticTrace inner_;
+    BarrierGroup *group_;
+    int member_;
+    core::MemAccess lockLine_;
+
+    std::uint64_t phase_ = 0;
+    std::uint64_t instrThisPhase_ = 0;
+    core::TraceItem pending_{};
+    bool havePending_ = false;
+    std::uint64_t spinReads_ = 0;
+};
+
+} // namespace tcm::workload

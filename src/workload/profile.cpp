@@ -1,0 +1,5 @@
+#include "workload/profile.hpp"
+
+// ThreadProfile is an aggregate; this translation unit exists so the
+// workload library always has at least one object file even if future
+// helpers move elsewhere.

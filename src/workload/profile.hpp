@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The three-axis characterization of a thread's memory access behaviour.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tcm::workload {
+
+/**
+ * A thread's memory behaviour as the paper defines it (Section 2.1):
+ * memory intensity (MPKI), row-buffer locality (RBL in [0,1]) and
+ * bank-level parallelism (BLP in banks). The synthetic trace generator
+ * turns a profile into an instruction stream whose *measured* MPKI/RBL/BLP
+ * match these targets (verified by bench_table4_profiles).
+ */
+struct ThreadProfile
+{
+    std::string name = "synthetic";
+    double mpki = 1.0;          //!< L2 misses per kilo-instruction
+    double rbl = 0.5;           //!< row-buffer locality, fraction in [0,1]
+    double blp = 1.0;           //!< avg banks with outstanding requests
+    double writeFraction = 0.25; //!< writebacks per read miss
+    int weight = 1;             //!< OS-assigned thread weight (Section 3.6)
+
+    /** The paper's intensity classification: MPKI >= 1 is intensive. */
+    bool memoryIntensive() const { return mpki >= 1.0; }
+};
+
+} // namespace tcm::workload

@@ -1,0 +1,122 @@
+#include "workload/synthetic_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcm::workload {
+
+SyntheticTrace::SyntheticTrace(const ThreadProfile &profile,
+                               const Geometry &geometry, std::uint64_t seed)
+    : profile_(profile), geom_(geometry), rng_(seed, seed ^ 0x9e3779b97f4a7c15ULL)
+{
+    double blp = std::clamp(profile_.blp, 1.0,
+                            static_cast<double>(geom_.totalBanks()));
+    profile_.blp = blp;
+    int num_streams = static_cast<int>(std::ceil(blp));
+
+    // Pin each stream to a distinct bank, walking channels first so a
+    // high-BLP thread spreads across all controllers (as real benchmarks
+    // with cache-block channel interleaving do).
+    int base = static_cast<int>(rng_.nextBelow(
+        static_cast<std::uint32_t>(geom_.totalBanks())));
+    streams_.reserve(num_streams);
+    for (int s = 0; s < num_streams; ++s) {
+        int global = (base + s) % geom_.totalBanks();
+        Stream st;
+        st.channel = static_cast<ChannelId>(global % geom_.numChannels);
+        st.bank = static_cast<BankId>((global / geom_.numChannels) %
+                                      geom_.banksPerChannel);
+        st.row = static_cast<RowId>(rng_.nextBelow(geom_.rowsPerBank));
+        st.col = static_cast<ColId>(rng_.nextBelow(geom_.colsPerRow));
+        streams_.push_back(st);
+    }
+
+    double mpki = std::max(profile_.mpki, 1e-4);
+    meanGapPerMiss_ = std::max(0.0, 1000.0 / mpki - 1.0);
+}
+
+void
+SyntheticTrace::startEpisode()
+{
+    double blp = profile_.blp;
+    int lo = static_cast<int>(std::floor(blp));
+    double frac = blp - lo;
+    int size = lo + (rng_.nextBool(frac) ? 1 : 0);
+    size = std::clamp(size, 1, static_cast<int>(streams_.size()));
+
+    episodeRemaining_ = size;
+    episodePos_ = 0;
+    // Episodes always start at stream 0: a small episode from a
+    // fractional-BLP thread must reuse the same primary stream, so that
+    // overlapping episodes in the instruction window keep the number of
+    // concurrently loaded banks at the BLP target instead of slowly
+    // touching every stream.
+
+    // The whole episode's instruction gap is attached to its first miss.
+    gapValue_ = rng_.nextGeometric(meanGapPerMiss_ * size);
+    gapPending_ = true;
+}
+
+core::MemAccess
+SyntheticTrace::accessFromStream(int streamIdx)
+{
+    Stream &st = streams_[streamIdx];
+    if (rng_.nextBool(profile_.rbl)) {
+        st.col = (st.col + 1) % geom_.colsPerRow; // row hit (same row)
+    } else {
+        // Row change: real streams also move banks here (array walks
+        // cross bank boundaries, pointer chases land anywhere).
+        int global = static_cast<int>(
+            rng_.nextBelow(static_cast<std::uint32_t>(geom_.totalBanks())));
+        st.channel = static_cast<ChannelId>(global % geom_.numChannels);
+        st.bank = static_cast<BankId>((global / geom_.numChannels) %
+                                      geom_.banksPerChannel);
+        st.row = static_cast<RowId>(rng_.nextBelow(geom_.rowsPerBank));
+        st.col = static_cast<ColId>(rng_.nextBelow(geom_.colsPerRow));
+    }
+    core::MemAccess acc;
+    acc.isWrite = false;
+    acc.channel = st.channel;
+    acc.bank = st.bank;
+    acc.row = st.row;
+    acc.col = st.col;
+    return acc;
+}
+
+core::TraceItem
+SyntheticTrace::next()
+{
+    core::TraceItem item;
+
+    if (writePending_) {
+        writePending_ = false;
+        item.gap = 0;
+        item.access = pendingWrite_;
+        return item;
+    }
+
+    if (episodeRemaining_ == 0)
+        startEpisode();
+
+    int stream = episodePos_ % static_cast<int>(streams_.size());
+    ++episodePos_;
+    --episodeRemaining_;
+
+    item.gap = gapPending_ ? gapValue_ : 0;
+    gapPending_ = false;
+    item.access = accessFromStream(stream);
+
+    // A dirty eviction accompanies some misses: same bank, old row.
+    if (rng_.nextBool(profile_.writeFraction)) {
+        pendingWrite_ = item.access;
+        pendingWrite_.isWrite = true;
+        pendingWrite_.row =
+            static_cast<RowId>(rng_.nextBelow(geom_.rowsPerBank));
+        pendingWrite_.col =
+            static_cast<ColId>(rng_.nextBelow(geom_.colsPerRow));
+        writePending_ = true;
+    }
+    return item;
+}
+
+} // namespace tcm::workload

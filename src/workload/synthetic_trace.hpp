@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Generative stand-in for SPEC CPU2006 PinPoints traces.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/trace.hpp"
+#include "workload/profile.hpp"
+
+namespace tcm::workload {
+
+/** DRAM geometry the generator lays streams out over. */
+struct Geometry
+{
+    int numChannels = 4;
+    int banksPerChannel = 4;
+    int rowsPerBank = 16384;
+    int colsPerRow = 64;
+
+    int totalBanks() const { return numChannels * banksPerChannel; }
+};
+
+/**
+ * Produces an infinite instruction stream whose measured memory
+ * intensity, row-buffer locality and bank-level parallelism match a
+ * ThreadProfile:
+ *
+ *  - Misses arrive in *episodes* of B back-to-back misses (B alternates
+ *    between floor(blp) and ceil(blp) so the average episode size equals
+ *    the BLP target), each episode followed by a geometrically
+ *    distributed gap of plain instructions sized so that overall MPKI
+ *    matches.
+ *  - The generator maintains ceil(blp) *streams*; an episode walks
+ *    streams 0..B-1, so its misses land in (mostly) distinct banks and
+ *    overlap in the window — which is exactly what bank-level
+ *    parallelism is.
+ *  - Within a stream, each access stays in the current row (next column)
+ *    with probability rbl; otherwise it jumps to a random row in a
+ *    random bank. Bank movement on row changes is what real streams do
+ *    (an array walk crosses bank boundaries; a pointer chase lands
+ *    anywhere), and it is what makes a streaming thread hammer "a bank
+ *    at a given time" rather than one bank forever (paper Section 2.4).
+ *  - After a read miss, a writeback to the same bank (random row) is
+ *    emitted with probability writeFraction.
+ *
+ * The sequence depends only on (profile, geometry, seed), never on
+ * simulation timing, so alone and shared runs execute identical streams.
+ */
+class SyntheticTrace : public core::TraceSource
+{
+  public:
+    SyntheticTrace(const ThreadProfile &profile, const Geometry &geometry,
+                   std::uint64_t seed);
+
+    core::TraceItem next() override;
+
+    int numStreams() const { return static_cast<int>(streams_.size()); }
+
+  private:
+    struct Stream
+    {
+        ChannelId channel;
+        BankId bank;
+        RowId row;
+        ColId col;
+    };
+
+    void startEpisode();
+    core::MemAccess accessFromStream(int streamIdx);
+
+    ThreadProfile profile_;
+    Geometry geom_;
+    Pcg32 rng_;
+    std::vector<Stream> streams_;
+
+    int episodeRemaining_ = 0;
+    int episodePos_ = 0;    //!< index within the episode
+    bool gapPending_ = false;
+    std::uint64_t gapValue_ = 0;
+    bool writePending_ = false;
+    core::MemAccess pendingWrite_;
+    double meanGapPerMiss_ = 0.0;
+};
+
+} // namespace tcm::workload

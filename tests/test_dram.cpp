@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Unit tests for the DDR2 timing model: bank/rank/channel state machines
+ * and the address interleave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address.hpp"
+#include "dram/bank.hpp"
+#include "dram/channel.hpp"
+#include "dram/rank.hpp"
+#include "dram/timing.hpp"
+
+using namespace tcm;
+using namespace tcm::dram;
+
+namespace {
+
+TimingParams
+noRefreshTiming()
+{
+    TimingParams t = TimingParams::ddr2_800();
+    t.refreshEnabled = false;
+    return t;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TimingParams
+// ---------------------------------------------------------------------------
+
+TEST(Timing, NsConversionRoundsAtFiveGigahertz)
+{
+    EXPECT_EQ(TimingParams::ns(15.0), 75u);
+    EXPECT_EQ(TimingParams::ns(2.5), 13u);  // 12.5 rounds up
+    EXPECT_EQ(TimingParams::ns(10.0), 50u);
+    EXPECT_EQ(TimingParams::ns(0.0), 0u);
+}
+
+TEST(Timing, Ddr2BaselineMatchesTableThree)
+{
+    TimingParams t = TimingParams::ddr2_800();
+    EXPECT_EQ(t.tCL, 75u);
+    EXPECT_EQ(t.tRCD, 75u);
+    EXPECT_EQ(t.tRP, 75u);
+    EXPECT_EQ(t.tBURST, 50u);
+    EXPECT_EQ(t.banksPerChannel, 4);
+    EXPECT_EQ(t.colsPerRow, 64); // 2 KB row / 32 B blocks
+    EXPECT_EQ(t.tRC, t.tRAS + t.tRP);
+}
+
+// ---------------------------------------------------------------------------
+// Bank state machine
+// ---------------------------------------------------------------------------
+
+TEST(Bank, StartsPrechargedAndActivatable)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    EXPECT_TRUE(bank.precharged());
+    EXPECT_TRUE(bank.canActivate(0));
+    EXPECT_FALSE(bank.canRead(0));
+    EXPECT_FALSE(bank.canWrite(0));
+    EXPECT_FALSE(bank.canPrecharge(0));
+}
+
+TEST(Bank, ActivateOpensRowAfterTrcd)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(100, 7);
+    EXPECT_EQ(bank.openRow(), 7);
+    EXPECT_FALSE(bank.canActivate(100 + 1)); // already open
+    EXPECT_FALSE(bank.canRead(100 + t.tRCD - 1));
+    EXPECT_TRUE(bank.canRead(100 + t.tRCD));
+    EXPECT_TRUE(bank.canWrite(100 + t.tRCD));
+}
+
+TEST(Bank, PrechargeRespectsTras)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(0, 3);
+    EXPECT_FALSE(bank.canPrecharge(t.tRAS - 1));
+    EXPECT_TRUE(bank.canPrecharge(t.tRAS));
+    bank.precharge(t.tRAS);
+    EXPECT_TRUE(bank.precharged());
+    EXPECT_FALSE(bank.canActivate(t.tRAS + t.tRP - 1));
+    EXPECT_TRUE(bank.canActivate(t.tRAS + t.tRP));
+}
+
+TEST(Bank, ReadPushesPrechargeOutByTrtp)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(0, 1);
+    Cycle rd_at = t.tRAS; // read issued late: tRTP now dominates tRAS
+    bank.read(rd_at);
+    EXPECT_FALSE(bank.canPrecharge(rd_at + t.tRTP - 1));
+    EXPECT_TRUE(bank.canPrecharge(rd_at + t.tRTP));
+}
+
+TEST(Bank, WriteRecoveryBlocksPrecharge)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(0, 1);
+    Cycle wr_at = t.tRAS;
+    bank.write(wr_at);
+    Cycle data_end = wr_at + t.tCWL + t.tBURST;
+    EXPECT_FALSE(bank.canPrecharge(data_end + t.tWR - 1));
+    EXPECT_TRUE(bank.canPrecharge(data_end + t.tWR));
+}
+
+TEST(Bank, SameBankActToActRespectsTrc)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(0, 1);
+    bank.read(t.tRCD);
+    bank.precharge(t.tRAS);
+    // Even though tRP has elapsed, tRC must also hold.
+    Cycle trp_done = t.tRAS + t.tRP;
+    EXPECT_GE(trp_done, t.tRC); // with DDR2-800, tRC == tRAS + tRP
+    EXPECT_TRUE(bank.canActivate(t.tRC));
+}
+
+TEST(Bank, ActivateOccupancyIsTrcd)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    EXPECT_EQ(bank.activate(0, 1), t.tRCD);
+    EXPECT_EQ(bank.read(t.tRCD), t.tBURST);
+    EXPECT_EQ(bank.precharge(t.tRAS + t.tRTP + 1000), t.tRP);
+}
+
+TEST(Bank, RefreshBlocksActivateForTrfc)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.refresh(500);
+    EXPECT_FALSE(bank.canActivate(500 + t.tRFC - 1));
+    EXPECT_TRUE(bank.canActivate(500 + t.tRFC));
+}
+
+// ---------------------------------------------------------------------------
+// Rank constraints
+// ---------------------------------------------------------------------------
+
+TEST(Rank, TrrdSeparatesActivates)
+{
+    TimingParams t = noRefreshTiming();
+    Rank rank(t);
+    EXPECT_TRUE(rank.canActivate(0));
+    rank.recordActivate(0);
+    EXPECT_FALSE(rank.canActivate(t.tRRD - 1));
+    EXPECT_TRUE(rank.canActivate(t.tRRD));
+}
+
+TEST(Rank, FourActivateWindowEnforced)
+{
+    TimingParams t = noRefreshTiming();
+    Rank rank(t);
+    Cycle now = 0;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(rank.canActivate(now));
+        rank.recordActivate(now);
+        now += t.tRRD;
+    }
+    // The fifth ACT must wait until tFAW after the first.
+    EXPECT_FALSE(rank.canActivate(now));
+    EXPECT_TRUE(rank.canActivate(t.tFAW));
+}
+
+TEST(Rank, WriteToReadTurnaround)
+{
+    TimingParams t = noRefreshTiming();
+    Rank rank(t);
+    rank.recordWrite(100);
+    Cycle ready = 100 + t.tCWL + t.tBURST + t.tWTR;
+    EXPECT_FALSE(rank.canRead(ready - 1));
+    EXPECT_TRUE(rank.canRead(ready));
+}
+
+// ---------------------------------------------------------------------------
+// Channel: buses and composition
+// ---------------------------------------------------------------------------
+
+TEST(Channel, CommandBusSerializesCommands)
+{
+    TimingParams t = noRefreshTiming();
+    Channel ch(t);
+    ASSERT_TRUE(ch.canIssue(CommandKind::Activate, 0, 0));
+    ch.issue(CommandKind::Activate, 0, 5, 0);
+    // The command bus is busy for one DRAM clock after any command.
+    EXPECT_FALSE(ch.cmdBusFree(t.tCK - 1));
+    EXPECT_TRUE(ch.cmdBusFree(t.tCK));
+    // An ACT to another bank additionally waits out rank-level tRRD.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tCK));
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tRRD - 1));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 1, t.tRRD));
+}
+
+TEST(Channel, DataBusSerializesBursts)
+{
+    TimingParams t = noRefreshTiming();
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 5, 0);
+    ch.issue(CommandKind::Activate, 1, 9, t.tRRD);
+    Cycle rd1 = t.tRCD;
+    ASSERT_TRUE(ch.canIssue(CommandKind::Read, 0, rd1));
+    IssueResult r1 = ch.issue(CommandKind::Read, 0, 5, rd1);
+    EXPECT_EQ(r1.dataStart, rd1 + t.tCL);
+    EXPECT_EQ(r1.dataEnd, rd1 + t.tCL + t.tBURST);
+    // A read to the other bank whose data would overlap must wait.
+    Cycle rd2 = rd1 + t.tCCD;
+    EXPECT_FALSE(ch.canIssue(CommandKind::Read, 1, rd2));
+    Cycle ok = r1.dataEnd - t.tCL;
+    EXPECT_TRUE(ch.canIssue(CommandKind::Read, 1, ok));
+}
+
+TEST(Channel, RefreshRequiresRankPrecharged)
+{
+    TimingParams t = noRefreshTiming();
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 2, 1, 0);
+    EXPECT_FALSE(ch.canIssue(CommandKind::Refresh, 0, t.tCK));
+    Cycle pre_at = t.tRAS;
+    ch.issue(CommandKind::Precharge, 2, kNoRow, pre_at);
+    EXPECT_TRUE(ch.canIssue(CommandKind::Refresh, 0, pre_at + t.tRP));
+    IssueResult r = ch.issue(CommandKind::Refresh, 0, kNoRow, pre_at + t.tRP);
+    EXPECT_EQ(r.occupancy, t.tRFC);
+    // The refreshed rank's banks are locked out for tRFC.
+    EXPECT_FALSE(
+        ch.canIssue(CommandKind::Activate, 0, pre_at + t.tRP + t.tRFC - 1));
+    EXPECT_TRUE(
+        ch.canIssue(CommandKind::Activate, 0, pre_at + t.tRP + t.tRFC));
+}
+
+TEST(Channel, DualRankConstraintsAreIndependent)
+{
+    TimingParams t = noRefreshTiming();
+    t.banksPerChannel = 8;
+    t.ranksPerChannel = 2;
+    Channel ch(t);
+    ASSERT_EQ(ch.numRanks(), 2);
+    ASSERT_EQ(ch.rankOf(3), 0);
+    ASSERT_EQ(ch.rankOf(4), 1);
+
+    // Saturate rank 0's four-activate window.
+    Cycle now = 0;
+    for (BankId b = 0; b < 4; ++b) {
+        ASSERT_TRUE(ch.canIssue(CommandKind::Activate, b, now));
+        ch.issue(CommandKind::Activate, b, 1, now);
+        now += t.tRRD;
+    }
+    // Rank 0 is tFAW-blocked, but rank 1 can activate immediately.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 0, now));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 4, now));
+}
+
+TEST(Channel, RankSwitchAddsTrtrsOnDataBus)
+{
+    TimingParams t = noRefreshTiming();
+    t.banksPerChannel = 8;
+    t.ranksPerChannel = 2;
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 1, 0);          // rank 0
+    ch.issue(CommandKind::Activate, 4, 1, t.tRRD);     // rank 1
+    Cycle rd1 = t.tRCD;
+    ch.issue(CommandKind::Read, 0, 1, rd1);
+    Cycle data_end = rd1 + t.tCL + t.tBURST;
+    // Same-rank read could start once its data slot clears; a rank
+    // switch must additionally wait tRTRS.
+    Cycle same_rank_ok = data_end - t.tCL;
+    EXPECT_FALSE(ch.canIssue(CommandKind::Read, 4, same_rank_ok));
+    EXPECT_TRUE(
+        ch.canIssue(CommandKind::Read, 4, same_rank_ok + t.tRTRS));
+}
+
+TEST(Channel, RefreshOfOneRankLeavesOtherUsable)
+{
+    TimingParams t = noRefreshTiming();
+    t.banksPerChannel = 8;
+    t.ranksPerChannel = 2;
+    Channel ch(t);
+    ch.issue(CommandKind::Refresh, 0, kNoRow, 0); // refresh rank 0
+    // Rank 0 locked for tRFC; rank 1 activates right after the cmd bus.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 0, t.tCK));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 4, t.tCK));
+}
+
+TEST(Channel, UncontendedRowHitLatencyNearPaper)
+{
+    // Row hit: RD at t, data done at t + tCL + tBURST. With the
+    // controller transport delays (40 + 35) the paper quotes ~200 cycles
+    // end to end; the DRAM part is tCL + tBURST = 125.
+    TimingParams t = noRefreshTiming();
+    Cycle dram_part = t.tCL + t.tBURST;
+    Cycle total = t.cpuToMcDelay + dram_part + t.mcToCpuDelay;
+    EXPECT_EQ(total, 200u);
+    // Closed bank adds tRCD; conflict adds tRP + tRCD.
+    EXPECT_EQ(total + t.tRCD, 275u);
+    EXPECT_EQ(total + t.tRP + t.tRCD, 350u);
+}
+
+TEST(Timing, Ddr3PresetIsFasterAndWider)
+{
+    TimingParams d2 = TimingParams::ddr2_800();
+    TimingParams d3 = TimingParams::ddr3_1333();
+    EXPECT_LT(d3.tCL, d2.tCL);
+    EXPECT_LT(d3.tBURST, d2.tBURST);
+    EXPECT_EQ(d3.banksPerChannel, 8);
+    EXPECT_EQ(d3.tRC, d3.tRAS + d3.tRP);
+}
+
+TEST(Bank, AutoPrechargeClosesRowAfterConstraints)
+{
+    TimingParams t = noRefreshTiming();
+    Bank bank(t);
+    bank.activate(0, 3);
+    bank.read(t.tRCD);
+    bank.autoPrecharge();
+    EXPECT_TRUE(bank.precharged());
+    // Next ACT waits for the implicit precharge: preAllowedAt
+    // (tRAS-bound here) + tRP.
+    EXPECT_FALSE(bank.canActivate(t.tRAS + t.tRP - 1));
+    EXPECT_TRUE(bank.canActivate(t.tRAS + t.tRP));
+}
+
+// ---------------------------------------------------------------------------
+// Address map
+// ---------------------------------------------------------------------------
+
+TEST(AddressMap, RoundTripsAllFields)
+{
+    TimingParams t = noRefreshTiming();
+    AddressMap map(t, 4);
+    Coord c{3, 2, 1234, 17};
+    EXPECT_EQ(map.decode(map.encode(c)), c);
+}
+
+TEST(AddressMap, ConsecutiveBlocksWalkChannelsThenBanks)
+{
+    TimingParams t = noRefreshTiming();
+    AddressMap map(t, 4);
+    Coord c0 = map.decode(0);
+    Coord c1 = map.decode(32);
+    Coord c4 = map.decode(32 * 4);
+    EXPECT_EQ(c0.channel, 0);
+    EXPECT_EQ(c1.channel, 1);
+    EXPECT_EQ(c4.channel, 0);
+    EXPECT_EQ(c4.bank, c0.bank + 1);
+}
+
+TEST(AddressMap, CapacityMatchesGeometry)
+{
+    TimingParams t = noRefreshTiming();
+    AddressMap map(t, 4);
+    std::uint64_t expect = 4ull * 4 * 16384 * 64 * 32;
+    EXPECT_EQ(map.capacityBytes(), expect);
+}
+
+TEST(AddressMap, DecodeStaysInBounds)
+{
+    TimingParams t = noRefreshTiming();
+    AddressMap map(t, 4);
+    for (std::uint64_t addr = 0; addr < map.capacityBytes();
+         addr += map.capacityBytes() / 97) {
+        Coord c = map.decode(addr);
+        EXPECT_GE(c.channel, 0);
+        EXPECT_LT(c.channel, 4);
+        EXPECT_GE(c.bank, 0);
+        EXPECT_LT(c.bank, t.banksPerChannel);
+        EXPECT_GE(c.row, 0);
+        EXPECT_LT(c.row, t.rowsPerBank);
+        EXPECT_GE(c.col, 0);
+        EXPECT_LT(c.col, t.colsPerRow);
+    }
+}

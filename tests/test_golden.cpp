@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Golden regression tests: fixed-seed end-to-end runs whose headline
+ * metrics must stay inside recorded bands. These catch silent behaviour
+ * drift (a scheduler change, a timing fix, a generator tweak) that the
+ * unit tests' invariants would let through.
+ *
+ * Bands are deliberately generous (+/-15% around the recorded value):
+ * they should only trip on *behavioural* changes, never on compiler or
+ * platform noise (the simulator itself is bit-deterministic per build).
+ * When a deliberate change moves a metric, re-record the band and say
+ * why in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+
+namespace {
+
+struct Golden
+{
+    sched::Algo algo;
+    double ws;
+    double ms;
+};
+
+class GoldenWorkloadA : public testing::TestWithParam<Golden>
+{
+};
+
+std::string
+goldenName(const testing::TestParamInfo<Golden> &info)
+{
+    std::string n = sched::algoName(info.param.algo);
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+TEST_P(GoldenWorkloadA, MetricsWithinRecordedBands)
+{
+    Golden g = GetParam();
+    sim::SystemConfig config;
+    sim::ExperimentScale scale;
+    scale.warmup = 50'000;
+    scale.measure = 300'000;
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+
+    auto mix = workload::tableFiveWorkload('A');
+    sched::SchedulerSpec spec;
+    spec.algo = g.algo;
+    sim::RunResult r = sim::runWorkload(config, mix, spec, scale, cache,
+                                        /*seed=*/7);
+
+    EXPECT_NEAR(r.metrics.weightedSpeedup, g.ws, 0.15 * g.ws)
+        << "weighted speedup drifted";
+    EXPECT_NEAR(r.metrics.maxSlowdown, g.ms, 0.15 * g.ms)
+        << "maximum slowdown drifted";
+}
+
+// Recorded on the baseline configuration (Table 5 workload A, seed 7,
+// 300K measured cycles) at the time the repository was finalized.
+INSTANTIATE_TEST_SUITE_P(Recorded, GoldenWorkloadA,
+                         testing::Values(
+                             Golden{sched::Algo::FrFcfs, 11.50, 4.54},
+                             Golden{sched::Algo::ParBs, 12.11, 4.48},
+                             Golden{sched::Algo::Atlas, 13.74, 14.18},
+                             Golden{sched::Algo::Tcm, 12.88, 6.48}),
+                         goldenName);

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end integration tests: whole-system simulations asserting the
+ * *directional* results the paper reports (who wins, not exact numbers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/alone_cache.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmark_table.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+using namespace tcm::sim;
+
+namespace {
+
+ExperimentScale
+testScale()
+{
+    ExperimentScale s;
+    s.warmup = 30'000;
+    s.measure = 200'000;
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Section 2.4 case study (Table 1 / Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST(CaseStudy, RandomAccessThreadSuffersMoreWhenDeprioritized)
+{
+    // Two bandwidth-sensitive threads with equal MPKI; strict priority
+    // one way, then the other. The random-access (high-BLP) thread must
+    // be hurt more by deprioritization than the streaming thread is
+    // (Figure 2: ~11x vs a smaller slowdown).
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+
+    std::vector<workload::ThreadProfile> mix = {
+        workload::randomAccessThread(), workload::streamingThread()};
+
+    // Prioritize random-access (thread 0): streaming is the victim.
+    RunResult ra_first = runWorkload(
+        cfg, mix, sched::SchedulerSpec::fixedRank({1, 0}), scale, cache, 3);
+    double streaming_victim = ra_first.metrics.slowdowns[1];
+
+    // Prioritize streaming (thread 1): random-access is the victim.
+    RunResult st_first = runWorkload(
+        cfg, mix, sched::SchedulerSpec::fixedRank({0, 1}), scale, cache, 3);
+    double ra_victim = st_first.metrics.slowdowns[0];
+
+    EXPECT_GT(ra_victim, streaming_victim);
+    EXPECT_GT(ra_victim, 2.0); // it must be substantial, not noise
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-level directional results
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SchedulerOutcome
+{
+    double ws;
+    double ms;
+};
+
+SchedulerOutcome
+evalOn(const std::vector<workload::ThreadProfile> &mix,
+       const sched::SchedulerSpec &spec, AloneIpcCache &cache,
+       const SystemConfig &cfg, std::uint64_t seed = 5)
+{
+    RunResult r = runWorkload(cfg, mix, spec, testScale(), cache, seed);
+    return {r.metrics.weightedSpeedup, r.metrics.maxSlowdown};
+}
+
+} // namespace
+
+TEST(Integration, ThreadAwareSchedulersBeatFrFcfsOnMixedWorkload)
+{
+    SystemConfig cfg;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    auto mix = workload::tableFiveWorkload('A');
+
+    auto frfcfs = evalOn(mix, sched::SchedulerSpec::frfcfs(), cache, cfg);
+    auto tcm = evalOn(mix, sched::SchedulerSpec::tcmSpec(), cache, cfg);
+    auto atlas = evalOn(mix, sched::SchedulerSpec::atlasSpec(), cache, cfg);
+
+    // Prioritizing light threads must raise system throughput.
+    EXPECT_GT(tcm.ws, frfcfs.ws);
+    EXPECT_GT(atlas.ws, frfcfs.ws);
+}
+
+TEST(Integration, TcmIsFairerThanAtlas)
+{
+    // ATLAS's strict LAS ranking starves the most intensive threads;
+    // TCM's shuffling must yield lower maximum slowdown (the paper's
+    // headline: -38.6% MS vs ATLAS).
+    SystemConfig cfg;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+
+    double tcm_ms = 0.0, atlas_ms = 0.0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        auto mix = workload::randomMix(24, 0.75, 100 + seed);
+        tcm_ms +=
+            evalOn(mix, sched::SchedulerSpec::tcmSpec(), cache, cfg, seed).ms;
+        atlas_ms +=
+            evalOn(mix, sched::SchedulerSpec::atlasSpec(), cache, cfg, seed)
+                .ms;
+    }
+    EXPECT_LT(tcm_ms, atlas_ms);
+}
+
+TEST(Integration, LatencySensitiveThreadsProtectedByTcm)
+{
+    // Under TCM a light thread in a heavy mix should run near its alone
+    // speed (the latency cluster is strictly prioritized).
+    SystemConfig cfg;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+
+    // gcc: light enough to land in the latency cluster, but with enough
+    // misses (MPKI 0.34) that queueing delay is visible in its IPC.
+    std::vector<workload::ThreadProfile> mix;
+    mix.push_back(workload::benchmarkProfile("gcc"));
+    for (int i = 0; i < 11; ++i)
+        mix.push_back(workload::benchmarkProfile("mcf")); // heavy
+
+    cfg.numCores = static_cast<int>(mix.size());
+    RunResult tcm = runWorkload(cfg, mix, sched::SchedulerSpec::tcmSpec(),
+                                scale, cache, 2);
+    RunResult fr = runWorkload(cfg, mix, sched::SchedulerSpec::frfcfs(),
+                               scale, cache, 2);
+    EXPECT_GT(tcm.metrics.speedups[0], 0.80);
+    EXPECT_GT(tcm.metrics.speedups[0], fr.metrics.speedups[0]);
+}
+
+TEST(Integration, EverySchedulerServicesEveryThread)
+{
+    // No starvation: all threads make some progress under every policy.
+    SystemConfig cfg;
+    auto mix = workload::randomMix(24, 1.0, 55);
+    for (const auto &spec : paperSchedulers()) {
+        sched::SchedulerSpec scaled = spec;
+        scaled.scaleToRun(150'000);
+        Simulator sim(cfg, mix, scaled, 9);
+        sim.run(20'000, 150'000);
+        for (ThreadId t = 0; t < 24; ++t)
+            EXPECT_GT(sim.measuredIpc(t), 0.0)
+                << spec.name() << " starved thread " << t;
+    }
+}
+
+TEST(Integration, ThreadWeightsFavorHeavierThreadUnderTcm)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+
+    // Four copies of the same heavy benchmark; one gets weight 8.
+    std::vector<workload::ThreadProfile> mix(
+        4, workload::benchmarkProfile("lbm"));
+    mix[2].weight = 8;
+
+    RunResult r = runWorkload(cfg, mix, sched::SchedulerSpec::tcmSpec(),
+                              scale, cache, 4);
+    // The weighted thread must do at least as well as the best of the
+    // others (weighted shuffling gives it more top-priority time).
+    double others = std::max({r.metrics.speedups[0], r.metrics.speedups[1],
+                              r.metrics.speedups[3]});
+    EXPECT_GT(r.metrics.speedups[2], others);
+}
+
+TEST(Integration, HigherIntensityMixIsMoreContended)
+{
+    SystemConfig cfg;
+    ExperimentScale scale = testScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    auto light = workload::randomMix(24, 0.25, 7);
+    auto heavy = workload::randomMix(24, 1.0, 7);
+    auto l = evalOn(light, sched::SchedulerSpec::tcmSpec(), cache, cfg);
+    auto h = evalOn(heavy, sched::SchedulerSpec::tcmSpec(), cache, cfg);
+    EXPECT_GT(l.ws, h.ws);  // lighter mixes have higher weighted speedup
+    EXPECT_LT(l.ms, h.ms);  // and lower contention-driven slowdown
+}

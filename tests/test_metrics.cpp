@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the evaluation metrics (weighted speedup, maximum
+ * slowdown, harmonic speedup).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+using namespace tcm::metrics;
+
+TEST(Metrics, NoSlowdownGivesIdealValues)
+{
+    WorkloadMetrics m = computeMetrics({1.0, 2.0}, {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 2.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 1.0);
+    EXPECT_DOUBLE_EQ(m.harmonicSpeedup, 1.0);
+}
+
+TEST(Metrics, UniformHalving)
+{
+    WorkloadMetrics m = computeMetrics({2.0, 2.0}, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 2.0);
+    EXPECT_DOUBLE_EQ(m.harmonicSpeedup, 0.5);
+}
+
+TEST(Metrics, MaxSlowdownPicksWorstThread)
+{
+    WorkloadMetrics m = computeMetrics({1.0, 1.0, 1.0}, {0.9, 0.25, 0.5});
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 4.0);
+    EXPECT_DOUBLE_EQ(m.slowdowns[1], 4.0);
+}
+
+TEST(Metrics, StarvedThreadIsCatastrophicNotNan)
+{
+    WorkloadMetrics m = computeMetrics({1.0, 1.0}, {1.0, 0.0});
+    EXPECT_GT(m.maxSlowdown, 1e5);
+    EXPECT_TRUE(std::isfinite(m.maxSlowdown));
+    EXPECT_TRUE(std::isfinite(m.harmonicSpeedup));
+}
+
+TEST(Metrics, PerThreadVectorsAligned)
+{
+    WorkloadMetrics m = computeMetrics({1.0, 2.0, 4.0}, {0.5, 1.0, 1.0});
+    ASSERT_EQ(m.speedups.size(), 3u);
+    ASSERT_EQ(m.slowdowns.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.speedups[0], 0.5);
+    EXPECT_DOUBLE_EQ(m.slowdowns[2], 4.0);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(m.speedups[i] * m.slowdowns[i], 1.0, 1e-9);
+}
+
+TEST(Metrics, WeightedSpeedupIsSumOfSpeedups)
+{
+    WorkloadMetrics m = computeMetrics({1.0, 1.0}, {0.25, 0.75});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 1.0);
+}
+
+TEST(Metrics, HarmonicSpeedupFormula)
+{
+    // HS = N / sum(alone/shared) = 2 / (2 + 4) = 1/3.
+    WorkloadMetrics m = computeMetrics({1.0, 1.0}, {0.5, 0.25});
+    EXPECT_NEAR(m.harmonicSpeedup, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, EmptyWorkload)
+{
+    WorkloadMetrics m = computeMetrics({}, {});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 0.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 0.0);
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the simulator layer: determinism, alone-IPC caching,
+ * experiment drivers and the behaviour probe.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/alone_cache.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmark_table.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+using namespace tcm::sim;
+
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig c;
+    c.numCores = 4;
+    c.numChannels = 2;
+    return c;
+}
+
+ExperimentScale
+quickScale()
+{
+    ExperimentScale s;
+    s.warmup = 10'000;
+    s.measure = 60'000;
+    s.workloadsPerCategory = 2;
+    return s;
+}
+
+} // namespace
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = smallConfig();
+    auto mix = workload::randomMix(4, 0.5, 3);
+    for (auto spec : {sched::SchedulerSpec::frfcfs(),
+                      sched::SchedulerSpec::tcmSpec()}) {
+        Simulator a(cfg, mix, spec, 7);
+        Simulator b(cfg, mix, spec, 7);
+        a.run(5000, 50'000);
+        b.run(5000, 50'000);
+        for (ThreadId t = 0; t < 4; ++t)
+            EXPECT_DOUBLE_EQ(a.measuredIpc(t), b.measuredIpc(t))
+                << spec.name() << " thread " << t;
+    }
+}
+
+TEST(Simulator, ChunkedSteppingEqualsSingleRun)
+{
+    // step(1) x N must be cycle-identical to run(warmup, measure):
+    // nothing in the simulator may depend on step granularity.
+    SystemConfig cfg = smallConfig();
+    auto mix = workload::randomMix(4, 1.0, 3);
+
+    Simulator whole(cfg, mix, sched::SchedulerSpec::tcmSpec(), 7);
+    whole.run(5'000, 40'000);
+
+    Simulator chunked(cfg, mix, sched::SchedulerSpec::tcmSpec(), 7);
+    for (int i = 0; i < 5; ++i)
+        chunked.step(1'000);
+    chunked.beginMeasurement();
+    Cycle left = 40'000;
+    Cycle chunk = 1;
+    while (left > 0) {
+        Cycle n = std::min(left, chunk);
+        chunked.step(n);
+        left -= n;
+        chunk = chunk * 2 + 1; // irregular chunk sizes
+    }
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_DOUBLE_EQ(whole.measuredIpc(t), chunked.measuredIpc(t));
+}
+
+TEST(Simulator, DifferentSeedsGiveDifferentResults)
+{
+    SystemConfig cfg = smallConfig();
+    auto mix = workload::randomMix(4, 0.5, 3);
+    Simulator a(cfg, mix, sched::SchedulerSpec::frfcfs(), 7);
+    Simulator b(cfg, mix, sched::SchedulerSpec::frfcfs(), 8);
+    a.run(5000, 50'000);
+    b.run(5000, 50'000);
+    bool any_diff = false;
+    for (ThreadId t = 0; t < 4; ++t)
+        any_diff |= a.measuredIpc(t) != b.measuredIpc(t);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Simulator, LightThreadRunsNearComputeBound)
+{
+    SystemConfig cfg = smallConfig();
+    std::vector<workload::ThreadProfile> mix = {
+        workload::benchmarkProfile("povray")}; // MPKI 0.01
+    Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 1);
+    sim.run(10'000, 100'000);
+    EXPECT_GT(sim.measuredIpc(0), 2.5); // 3-wide core, almost no misses
+}
+
+TEST(Simulator, HeavyThreadIsMemoryBound)
+{
+    SystemConfig cfg = smallConfig();
+    std::vector<workload::ThreadProfile> mix = {
+        workload::benchmarkProfile("mcf")}; // MPKI 97
+    Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 1);
+    sim.run(10'000, 100'000);
+    EXPECT_LT(sim.measuredIpc(0), 1.5);
+    EXPECT_GT(sim.measuredIpc(0), 0.01);
+}
+
+TEST(Simulator, SharingSlowsThreadsDown)
+{
+    SystemConfig cfg = smallConfig();
+    workload::ThreadProfile heavy = workload::benchmarkProfile("mcf");
+    Simulator alone(cfg, {heavy}, sched::SchedulerSpec::frfcfs(), 1);
+    alone.run(10'000, 100'000);
+    Simulator shared(cfg, {heavy, heavy, heavy, heavy},
+                     sched::SchedulerSpec::frfcfs(), 1);
+    shared.run(10'000, 100'000);
+    EXPECT_LT(shared.measuredIpc(0), alone.measuredIpc(0));
+}
+
+TEST(Simulator, ProbeMeasuresBehaviour)
+{
+    SystemConfig cfg = smallConfig();
+    workload::ThreadProfile p = workload::benchmarkProfile("libquantum");
+    Simulator sim(cfg, {p}, sched::SchedulerSpec::frfcfs(), 1,
+                  /*enableProbe=*/true);
+    sim.run(20'000, 200'000);
+    auto b = sim.behavior(0);
+    EXPECT_NEAR(b.mpki, p.mpki, p.mpki * 0.25);
+    EXPECT_NEAR(b.rbl, p.rbl, 0.08);
+    EXPECT_NEAR(b.blp, p.blp, 0.6);
+}
+
+TEST(Simulator, MpkiScaleEmulatesLargerCache)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.mpkiScale = 0.25;
+    workload::ThreadProfile p = workload::benchmarkProfile("mcf");
+    Simulator sim(cfg, {p}, sched::SchedulerSpec::frfcfs(), 1,
+                  /*enableProbe=*/true);
+    sim.run(20'000, 100'000);
+    EXPECT_LT(sim.behavior(0).mpki, 40.0); // ~97 * 0.25
+}
+
+TEST(AloneCache, MemoizesPerProfile)
+{
+    SystemConfig cfg = smallConfig();
+    AloneIpcCache cache(cfg, 5000, 30'000);
+    workload::ThreadProfile mcf = workload::benchmarkProfile("mcf");
+    double a = cache.aloneIpc(mcf);
+    double b = cache.aloneIpc(mcf);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.aloneIpc(workload::benchmarkProfile("povray"));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AloneCache, WeightDoesNotChangeAloneIpc)
+{
+    SystemConfig cfg = smallConfig();
+    AloneIpcCache cache(cfg, 5000, 30'000);
+    workload::ThreadProfile p = workload::benchmarkProfile("lbm");
+    double base = cache.aloneIpc(p);
+    p.weight = 16;
+    EXPECT_DOUBLE_EQ(cache.aloneIpc(p), base);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Experiment, RunWorkloadProducesConsistentMetrics)
+{
+    SystemConfig cfg = smallConfig();
+    ExperimentScale scale = quickScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    auto mix = workload::randomMix(4, 0.5, 11);
+    RunResult r = runWorkload(cfg, mix, sched::SchedulerSpec::tcmSpec(),
+                              scale, cache, 5);
+    ASSERT_EQ(r.ipcShared.size(), 4u);
+    EXPECT_GT(r.metrics.weightedSpeedup, 0.0);
+    EXPECT_LE(r.metrics.weightedSpeedup, 4.0 + 1e-9);
+    EXPECT_GE(r.metrics.maxSlowdown, 1.0 - 0.1);
+}
+
+TEST(Experiment, EvaluateSetAggregates)
+{
+    SystemConfig cfg = smallConfig();
+    ExperimentScale scale = quickScale();
+    AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    auto sets = workload::workloadSet(3, 4, 0.5, 17);
+    AggregateResult agg = evaluateSet(cfg, sets,
+                                      sched::SchedulerSpec::frfcfs(), scale,
+                                      cache, 1);
+    EXPECT_EQ(agg.weightedSpeedup.count(), 3u);
+    EXPECT_EQ(agg.scheduler, "FR-FCFS");
+}
+
+TEST(Experiment, ScaleFromEnvRespectsOverrides)
+{
+    setenv("TCMSIM_CYCLES", "123456", 1);
+    setenv("TCMSIM_WORKLOADS", "3", 1);
+    ExperimentScale s = ExperimentScale::fromEnv();
+    EXPECT_EQ(s.measure, 123456u);
+    EXPECT_EQ(s.workloadsPerCategory, 3);
+    unsetenv("TCMSIM_CYCLES");
+    unsetenv("TCMSIM_WORKLOADS");
+}
+
+TEST(Experiment, PaperSchedulerListsComplete)
+{
+    EXPECT_EQ(paperSchedulers().size(), 5u);
+    EXPECT_EQ(priorSchedulers().size(), 4u);
+}

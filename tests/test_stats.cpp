@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the statistics subsystem: histogram math, the
+ * controller latency tracker, and system reports.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mem/latency_tracker.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "workload/benchmark_table.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+using tcm::stats::Histogram;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero)
+{
+    Histogram h({1.0, 2.0});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MeanMinMaxExact)
+{
+    Histogram h({10.0, 100.0, 1000.0});
+    for (double v : {5.0, 50.0, 500.0, 5000.0})
+        h.add(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 50.0 + 500.0 + 5000.0) / 4.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+}
+
+TEST(HistogramTest, BucketsFillCorrectly)
+{
+    Histogram h({10.0, 100.0});
+    h.add(10.0);  // at the bound -> first bucket
+    h.add(10.1);  // second bucket
+    h.add(99.0);  // second bucket
+    h.add(101.0); // overflow
+    ASSERT_EQ(h.buckets().size(), 3u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(HistogramTest, PercentileMonotonicAndBounded)
+{
+    Histogram h = Histogram::exponential(10.0, 2.0, 12);
+    Pcg32 rng(3);
+    for (int i = 0; i < 20'000; ++i)
+        h.add(10.0 + rng.nextBelow(10'000));
+    double last = 0.0;
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+    EXPECT_LE(h.percentile(1.0), h.max());
+    EXPECT_GE(h.percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileApproximatesUniform)
+{
+    Histogram h({100, 200, 300, 400, 500, 600, 700, 800, 900, 1000});
+    for (int v = 1; v <= 1000; ++v)
+        h.add(static_cast<double>(v));
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 60.0);
+    EXPECT_NEAR(h.percentile(0.9), 900.0, 60.0);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedStream)
+{
+    Histogram a = Histogram::exponential(10, 2, 8);
+    Histogram b = Histogram::exponential(10, 2, 8);
+    Histogram both = Histogram::exponential(10, 2, 8);
+    Pcg32 rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        double v = 1.0 + rng.nextBelow(3000);
+        (i % 2 ? a : b).add(v);
+        both.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    EXPECT_DOUBLE_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.percentile(0.9), both.percentile(0.9));
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h({10.0});
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyTracker
+// ---------------------------------------------------------------------------
+
+TEST(LatencyTracker, TracksPerThreadAndAggregate)
+{
+    mem::LatencyTracker lt;
+    lt.record(0, 200);
+    lt.record(0, 400);
+    lt.record(2, 1000);
+    EXPECT_EQ(lt.histogram().count(), 3u);
+    EXPECT_DOUBLE_EQ(lt.threadStats(0).mean(), 300.0);
+    EXPECT_EQ(lt.threadStats(1).count(), 0u);
+    EXPECT_DOUBLE_EQ(lt.threadStats(2).max(), 1000.0);
+    EXPECT_EQ(lt.threadHistogram(2).count(), 1u);
+}
+
+TEST(LatencyTracker, UnknownThreadIsEmptyNotCrash)
+{
+    mem::LatencyTracker lt;
+    EXPECT_EQ(lt.threadStats(5).count(), 0u);
+    EXPECT_EQ(lt.threadHistogram(5).count(), 0u);
+}
+
+TEST(LatencyTracker, ResetClearsEverything)
+{
+    mem::LatencyTracker lt;
+    lt.record(1, 500);
+    lt.reset();
+    EXPECT_EQ(lt.histogram().count(), 0u);
+    EXPECT_EQ(lt.threadStats(1).count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: simulator latencies and reports
+// ---------------------------------------------------------------------------
+
+TEST(Report, UncontendedLatencyNearDatasheet)
+{
+    sim::SystemConfig cfg;
+    cfg.numCores = 1;
+    std::vector<workload::ThreadProfile> mix = {
+        workload::benchmarkProfile("libquantum")};
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 3);
+    sim.run(20'000, 100'000);
+
+    // Row-hit-dominated single thread: mean latency should sit between
+    // the uncontended row-hit (~200) and a loaded queue bound.
+    stats::Histogram merged = sim.latency(0).threadHistogram(0);
+    for (ChannelId ch = 1; ch < cfg.numChannels; ++ch)
+        merged.merge(sim.latency(ch).threadHistogram(0));
+    ASSERT_GT(merged.count(), 100u);
+    EXPECT_GT(merged.percentile(0.5), 150.0);
+    EXPECT_LT(merged.percentile(0.5), 2000.0);
+}
+
+TEST(Report, CollectsConsistentRows)
+{
+    sim::SystemConfig cfg;
+    cfg.numCores = 4;
+    auto mix = workload::randomMix(4, 1.0, 5);
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::tcmSpec(), 5,
+                       /*enableProbe=*/true);
+    sim.run(20'000, 100'000);
+
+    sim::SystemReport report = sim::SystemReport::collect(sim);
+    EXPECT_EQ(report.scheduler, "TCM");
+    EXPECT_EQ(report.measuredCycles, 100'000u);
+    ASSERT_EQ(report.threads.size(), 4u);
+    ASSERT_EQ(report.channels.size(),
+              static_cast<std::size_t>(cfg.numChannels));
+
+    std::uint64_t channelReads = 0;
+    for (const auto &c : report.channels) {
+        channelReads += c.reads;
+        EXPECT_GE(c.rowHitRate, 0.0);
+        EXPECT_LE(c.rowHitRate, 1.0);
+        EXPECT_GE(c.bankUtilization, 0.0);
+        EXPECT_LE(c.bankUtilization, 1.0);
+        EXPECT_GT(c.averagePowerMw, 0.0);
+    }
+    std::uint64_t threadReads = 0;
+    for (const auto &t : report.threads) {
+        EXPECT_GT(t.ipc, 0.0);
+        EXPECT_LE(t.latencyP50, t.latencyP99 + 1e-9);
+        EXPECT_LE(t.latencyP99, t.latencyMax + 1e-9);
+        threadReads += t.reads;
+    }
+    // Reads measured per thread equal reads serviced per channel.
+    EXPECT_EQ(threadReads, channelReads);
+}
+
+TEST(Report, CsvFilesAreWellFormed)
+{
+    sim::SystemConfig cfg;
+    cfg.numCores = 2;
+    auto mix = workload::randomMix(2, 1.0, 5);
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 5);
+    sim.run(10'000, 50'000);
+    sim::SystemReport report = sim::SystemReport::collect(sim);
+
+    std::string prefix = "/tmp/tcmsim_test_report";
+    report.writeCsv(prefix);
+
+    for (const char *suffix : {"_threads.csv", "_channels.csv"}) {
+        std::ifstream in(prefix + suffix);
+        ASSERT_TRUE(in.good()) << suffix;
+        std::string header, firstRow;
+        std::getline(in, header);
+        std::getline(in, firstRow);
+        // Same number of commas in header and data rows.
+        auto commas = [](const std::string &s) {
+            return std::count(s.begin(), s.end(), ',');
+        };
+        EXPECT_GT(commas(header), 4);
+        EXPECT_EQ(commas(header), commas(firstRow)) << suffix;
+        std::remove((prefix + suffix).c_str());
+    }
+}
+
+TEST(Report, StarvedThreadShowsTailBlowup)
+{
+    // Under a strict fixed ranking, the deprioritized heavy thread's p99
+    // latency must far exceed the favored thread's.
+    sim::SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.numChannels = 1;
+    std::vector<workload::ThreadProfile> mix = {
+        workload::benchmarkProfile("lbm"),
+        workload::benchmarkProfile("lbm")};
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::fixedRank({0, 1}),
+                       5);
+    sim.run(20'000, 150'000);
+    sim::SystemReport r = sim::SystemReport::collect(sim);
+    EXPECT_GT(r.threads[0].latencyP99, 2.0 * r.threads[1].latencyP99);
+}

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the workload module: Table 4 transcription, Table 5
+ * mixes, random mixes, and the synthetic trace generator's statistics.
+ */
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark_table.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic_trace.hpp"
+
+using namespace tcm;
+using namespace tcm::workload;
+
+// ---------------------------------------------------------------------------
+// Benchmark table (Table 4)
+// ---------------------------------------------------------------------------
+
+TEST(BenchmarkTable, HasAllTwentyFiveBenchmarks)
+{
+    EXPECT_EQ(benchmarkTable().size(), 25u);
+}
+
+TEST(BenchmarkTable, SpotChecksAgainstPaper)
+{
+    ThreadProfile mcf = benchmarkProfile("mcf");
+    EXPECT_DOUBLE_EQ(mcf.mpki, 97.38);
+    EXPECT_DOUBLE_EQ(mcf.blp, 6.20);
+    EXPECT_NEAR(mcf.rbl, 0.4241, 1e-9);
+
+    ThreadProfile povray = benchmarkProfile("povray");
+    EXPECT_DOUBLE_EQ(povray.mpki, 0.01);
+
+    ThreadProfile libq = benchmarkProfile("libquantum");
+    EXPECT_NEAR(libq.rbl, 0.9922, 1e-9);
+    EXPECT_DOUBLE_EQ(libq.blp, 1.05);
+}
+
+TEST(BenchmarkTable, UnknownNameThrows)
+{
+    EXPECT_THROW(benchmarkProfile("nosuchbench"), std::out_of_range);
+}
+
+TEST(BenchmarkTable, IntensityClassesPartitionTable)
+{
+    auto intensive = intensiveBenchmarks();
+    auto light = nonIntensiveBenchmarks();
+    EXPECT_EQ(intensive.size() + light.size(), 25u);
+    EXPECT_EQ(intensive.size(), 14u); // MPKI >= 1 per Table 4
+    for (const auto &p : intensive)
+        EXPECT_GE(p.mpki, 1.0);
+    for (const auto &p : light)
+        EXPECT_LT(p.mpki, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Mixes (Table 5 and random)
+// ---------------------------------------------------------------------------
+
+TEST(Mixes, TableFiveWorkloadsHave24ThreadsHalfIntensive)
+{
+    for (char w : {'A', 'B', 'C', 'D'}) {
+        auto mix = tableFiveWorkload(w);
+        EXPECT_EQ(mix.size(), 24u) << w;
+        int intensive = 0;
+        for (const auto &p : mix)
+            intensive += p.memoryIntensive();
+        EXPECT_EQ(intensive, 12) << w;
+    }
+}
+
+TEST(Mixes, TableFiveRejectsBadName)
+{
+    EXPECT_THROW(tableFiveWorkload('E'), std::invalid_argument);
+}
+
+TEST(Mixes, RandomMixHonorsIntensityFraction)
+{
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        auto mix = randomMix(24, frac, 99);
+        int intensive = 0;
+        for (const auto &p : mix)
+            intensive += p.memoryIntensive();
+        EXPECT_EQ(intensive, static_cast<int>(std::lround(frac * 24)))
+            << frac;
+    }
+}
+
+TEST(Mixes, RandomMixDeterministicInSeed)
+{
+    auto a = randomMix(24, 0.5, 7);
+    auto b = randomMix(24, 0.5, 7);
+    auto c = randomMix(24, 0.5, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].name, b[i].name);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].name != c[i].name;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Mixes, WorkloadSetProducesDistinctMixes)
+{
+    auto set = workloadSet(8, 24, 0.5, 1);
+    EXPECT_EQ(set.size(), 8u);
+    std::set<std::string> fingerprints;
+    for (const auto &mix : set) {
+        std::string fp;
+        for (const auto &p : mix)
+            fp += p.name + ",";
+        fingerprints.insert(fp);
+    }
+    EXPECT_GT(fingerprints.size(), 6u);
+}
+
+TEST(Mixes, CaseStudyThreadsMatchTableOne)
+{
+    ThreadProfile ra = randomAccessThread();
+    ThreadProfile st = streamingThread();
+    EXPECT_DOUBLE_EQ(ra.mpki, st.mpki); // same intensity by construction
+    EXPECT_GT(ra.blp, 10.0);
+    EXPECT_LT(ra.rbl, 0.01);
+    EXPECT_LT(st.blp, 1.5);
+    EXPECT_GT(st.rbl, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticTrace generation statistics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TraceStats
+{
+    double mpki;
+    double rbl; // per-bank row transition rate
+    int banksTouched;
+    double writesPerRead;
+};
+
+TraceStats
+measure(const ThreadProfile &p, int reads = 20'000)
+{
+    Geometry g;
+    SyntheticTrace trace(p, g, 12345);
+
+    std::uint64_t instructions = 0;
+    std::uint64_t readCount = 0, writeCount = 0, rowHits = 0;
+    std::map<std::pair<int, int>, RowId> lastRow;
+    std::set<std::pair<int, int>> banks;
+
+    while (readCount < static_cast<std::uint64_t>(reads)) {
+        core::TraceItem item = trace.next();
+        instructions += item.gap;
+        auto key = std::make_pair(static_cast<int>(item.access.channel),
+                                  static_cast<int>(item.access.bank));
+        if (item.access.isWrite) {
+            ++writeCount;
+            continue;
+        }
+        instructions += 1; // the load itself
+        ++readCount;
+        banks.insert(key);
+        auto it = lastRow.find(key);
+        if (it != lastRow.end() && it->second == item.access.row)
+            ++rowHits;
+        lastRow[key] = item.access.row;
+    }
+
+    TraceStats s{};
+    s.mpki = 1000.0 * static_cast<double>(readCount) /
+             static_cast<double>(instructions);
+    s.rbl = static_cast<double>(rowHits) / static_cast<double>(readCount);
+    s.banksTouched = static_cast<int>(banks.size());
+    s.writesPerRead =
+        static_cast<double>(writeCount) / static_cast<double>(readCount);
+    return s;
+}
+
+} // namespace
+
+TEST(SyntheticTrace, MpkiMatchesTarget)
+{
+    for (double mpki : {0.5, 5.0, 25.0, 100.0}) {
+        ThreadProfile p;
+        p.mpki = mpki;
+        p.rbl = 0.5;
+        p.blp = 2.0;
+        TraceStats s = measure(p);
+        EXPECT_NEAR(s.mpki, mpki, mpki * 0.1) << mpki;
+    }
+}
+
+TEST(SyntheticTrace, RblMatchesTarget)
+{
+    for (double rbl : {0.0, 0.3, 0.7, 0.99}) {
+        ThreadProfile p;
+        p.mpki = 50.0;
+        p.rbl = rbl;
+        p.blp = 2.0;
+        TraceStats s = measure(p);
+        EXPECT_NEAR(s.rbl, rbl, 0.05) << rbl;
+    }
+}
+
+TEST(SyntheticTrace, StreamCountTracksBlp)
+{
+    ThreadProfile p;
+    p.mpki = 50.0;
+    p.rbl = 0.5;
+    for (double blp : {1.0, 2.5, 6.2, 11.6}) {
+        p.blp = blp;
+        Geometry g;
+        SyntheticTrace t(p, g, 7);
+        EXPECT_EQ(t.numStreams(), static_cast<int>(std::ceil(blp))) << blp;
+    }
+}
+
+TEST(SyntheticTrace, EpisodeSizeAveragesBlpTarget)
+{
+    // Count back-to-back miss runs (gap 0 groups): their mean size must
+    // track the BLP target.
+    for (double blp : {1.05, 2.82, 6.2}) {
+        ThreadProfile p;
+        p.mpki = 100.0;
+        p.rbl = 0.5;
+        p.blp = blp;
+        p.writeFraction = 0.0;
+        Geometry g;
+        SyntheticTrace trace(p, g, 31);
+        int episodes = 0;
+        int misses = 0;
+        for (int i = 0; i < 30'000; ++i) {
+            core::TraceItem item = trace.next();
+            episodes += item.gap > 0;
+            ++misses;
+        }
+        double mean = static_cast<double>(misses) / episodes;
+        EXPECT_NEAR(mean, blp, blp * 0.12) << blp;
+    }
+}
+
+TEST(SyntheticTrace, WriteFractionHonored)
+{
+    ThreadProfile p;
+    p.mpki = 50.0;
+    p.rbl = 0.5;
+    p.blp = 2.0;
+    p.writeFraction = 0.25;
+    TraceStats s = measure(p);
+    EXPECT_NEAR(s.writesPerRead, 0.25, 0.03);
+
+    p.writeFraction = 0.0;
+    s = measure(p);
+    EXPECT_EQ(s.writesPerRead, 0.0);
+}
+
+TEST(SyntheticTrace, DeterministicInSeed)
+{
+    ThreadProfile p;
+    p.mpki = 30.0;
+    p.rbl = 0.6;
+    p.blp = 3.0;
+    Geometry g;
+    SyntheticTrace a(p, g, 5), b(p, g, 5), c(p, g, 6);
+    bool diverged = false;
+    for (int i = 0; i < 5000; ++i) {
+        core::TraceItem ia = a.next(), ib = b.next(), ic = c.next();
+        ASSERT_EQ(ia.gap, ib.gap);
+        ASSERT_EQ(ia.access.bank, ib.access.bank);
+        ASSERT_EQ(ia.access.row, ib.access.row);
+        ASSERT_EQ(ia.access.col, ib.access.col);
+        ASSERT_EQ(ia.access.isWrite, ib.access.isWrite);
+        diverged |= ia.access.row != ic.access.row || ia.gap != ic.gap;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(SyntheticTrace, BlpIsClampedToGeometry)
+{
+    ThreadProfile p;
+    p.mpki = 50.0;
+    p.rbl = 0.5;
+    p.blp = 100.0; // more than 16 banks
+    Geometry g;
+    SyntheticTrace t(p, g, 3);
+    EXPECT_EQ(t.numStreams(), g.totalBanks());
+}
+
+TEST(SyntheticTrace, HighBlpSpreadsAcrossChannels)
+{
+    ThreadProfile p;
+    p.mpki = 100.0;
+    p.rbl = 0.0;
+    p.blp = 11.6;
+    Geometry g;
+    SyntheticTrace trace(p, g, 9);
+    std::set<int> channels;
+    for (int i = 0; i < 1000; ++i) {
+        core::TraceItem item = trace.next();
+        if (!item.access.isWrite)
+            channels.insert(item.access.channel);
+    }
+    EXPECT_EQ(channels.size(), 4u);
+}

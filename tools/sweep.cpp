@@ -1,0 +1,154 @@
+/**
+ * @file
+ * sweep — batch experiment runner with CSV output.
+ *
+ * Runs a (scheduler x workload) grid and emits one CSV row per run,
+ * ready for pandas/gnuplot. This is the tool behind "I want the Figure 4
+ * scatter with my own axes".
+ *
+ * Usage:
+ *   sweep [options] > results.csv
+ *     --schedulers LIST   comma list of frfcfs,fcfs,fqm,stfm,parbs,
+ *                         atlas,tcm (default: the paper's five)
+ *     --intensity LIST    comma list of fractions (default 0.5,0.75,1.0)
+ *     --workloads N       workloads per intensity (default 8)
+ *     --cores N           threads per workload (default 24)
+ *     --channels N        memory controllers (default 4)
+ *     --cycles N          measured cycles (default 300000)
+ *     --warmup N          warmup cycles (default 50000)
+ *     --seed N            base seed (default 1)
+ *
+ * Columns: scheduler,intensity,workload,seed,ws,ms,hs
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace tcm;
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+schedulerByName(const std::string &name, sched::SchedulerSpec &out)
+{
+    if (name == "frfcfs") out = sched::SchedulerSpec::frfcfs();
+    else if (name == "fcfs") out = sched::SchedulerSpec::fcfs();
+    else if (name == "fqm") out = sched::SchedulerSpec::fqmSpec();
+    else if (name == "stfm") out = sched::SchedulerSpec::stfmSpec();
+    else if (name == "parbs") out = sched::SchedulerSpec::parbsSpec();
+    else if (name == "atlas") out = sched::SchedulerSpec::atlasSpec();
+    else if (name == "tcm") out = sched::SchedulerSpec::tcmSpec();
+    else return false;
+    return true;
+}
+
+[[noreturn]] void
+die(const char *msg)
+{
+    std::fprintf(stderr, "sweep: %s (see the file header for usage)\n",
+                 msg);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> schedulerNames = {"frfcfs", "stfm", "parbs",
+                                               "atlas", "tcm"};
+    std::vector<double> intensities = {0.5, 0.75, 1.0};
+    int workloads = 8;
+    int cores = 24;
+    int channels = 4;
+    Cycle cycles = 300'000;
+    Cycle warmup = 50'000;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                die("missing option value");
+            return argv[++i];
+        };
+        if (arg == "--schedulers")
+            schedulerNames = splitCommas(value());
+        else if (arg == "--intensity") {
+            intensities.clear();
+            for (const std::string &v : splitCommas(value()))
+                intensities.push_back(std::strtod(v.c_str(), nullptr));
+        } else if (arg == "--workloads")
+            workloads = std::atoi(value());
+        else if (arg == "--cores")
+            cores = std::atoi(value());
+        else if (arg == "--channels")
+            channels = std::atoi(value());
+        else if (arg == "--cycles")
+            cycles = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--warmup")
+            warmup = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed")
+            seed = std::strtoull(value(), nullptr, 10);
+        else
+            die("unknown option");
+    }
+
+    sim::SystemConfig config;
+    config.numCores = cores;
+    config.numChannels = channels;
+    sim::ExperimentScale scale;
+    scale.measure = cycles;
+    scale.warmup = warmup;
+    scale.workloadsPerCategory = workloads;
+
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+
+    std::printf("scheduler,intensity,workload,seed,ws,ms,hs\n");
+    for (const std::string &name : schedulerNames) {
+        sched::SchedulerSpec spec;
+        if (!schedulerByName(name, spec))
+            die("unknown scheduler name");
+        for (double intensity : intensities) {
+            auto set = workload::workloadSet(
+                workloads, cores, intensity,
+                seed + static_cast<std::uint64_t>(intensity * 1000));
+            for (std::size_t w = 0; w < set.size(); ++w) {
+                std::uint64_t runSeed = seed + w;
+                sim::RunResult r = sim::runWorkload(
+                    config, set[w], spec, scale, cache, runSeed);
+                std::printf("%s,%.2f,%zu,%llu,%.4f,%.4f,%.4f\n",
+                            name.c_str(), intensity, w,
+                            static_cast<unsigned long long>(runSeed),
+                            r.metrics.weightedSpeedup,
+                            r.metrics.maxSlowdown,
+                            r.metrics.harmonicSpeedup);
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
+}
