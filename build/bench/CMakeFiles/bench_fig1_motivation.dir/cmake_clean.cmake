@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_motivation.dir/bench_fig1_motivation.cpp.o"
+  "CMakeFiles/bench_fig1_motivation.dir/bench_fig1_motivation.cpp.o.d"
+  "CMakeFiles/bench_fig1_motivation.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig1_motivation.dir/bench_util.cpp.o.d"
+  "bench_fig1_motivation"
+  "bench_fig1_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_case_study.dir/bench_fig2_case_study.cpp.o"
+  "CMakeFiles/bench_fig2_case_study.dir/bench_fig2_case_study.cpp.o.d"
+  "CMakeFiles/bench_fig2_case_study.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_case_study.dir/bench_util.cpp.o.d"
+  "bench_fig2_case_study"
+  "bench_fig2_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_shuffle_viz.dir/bench_fig3_shuffle_viz.cpp.o"
+  "CMakeFiles/bench_fig3_shuffle_viz.dir/bench_fig3_shuffle_viz.cpp.o.d"
+  "CMakeFiles/bench_fig3_shuffle_viz.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig3_shuffle_viz.dir/bench_util.cpp.o.d"
+  "bench_fig3_shuffle_viz"
+  "bench_fig3_shuffle_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_shuffle_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_main.dir/bench_fig4_main.cpp.o"
+  "CMakeFiles/bench_fig4_main.dir/bench_fig4_main.cpp.o.d"
+  "CMakeFiles/bench_fig4_main.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig4_main.dir/bench_util.cpp.o.d"
+  "bench_fig4_main"
+  "bench_fig4_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

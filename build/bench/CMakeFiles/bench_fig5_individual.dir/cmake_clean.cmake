@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_individual.dir/bench_fig5_individual.cpp.o"
+  "CMakeFiles/bench_fig5_individual.dir/bench_fig5_individual.cpp.o.d"
+  "CMakeFiles/bench_fig5_individual.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig5_individual.dir/bench_util.cpp.o.d"
+  "bench_fig5_individual"
+  "bench_fig5_individual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_individual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

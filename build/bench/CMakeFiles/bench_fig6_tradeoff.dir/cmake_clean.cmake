@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tradeoff.dir/bench_fig6_tradeoff.cpp.o"
+  "CMakeFiles/bench_fig6_tradeoff.dir/bench_fig6_tradeoff.cpp.o.d"
+  "CMakeFiles/bench_fig6_tradeoff.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig6_tradeoff.dir/bench_util.cpp.o.d"
+  "bench_fig6_tradeoff"
+  "bench_fig6_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_intensity.dir/bench_fig7_intensity.cpp.o"
+  "CMakeFiles/bench_fig7_intensity.dir/bench_fig7_intensity.cpp.o.d"
+  "CMakeFiles/bench_fig7_intensity.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig7_intensity.dir/bench_util.cpp.o.d"
+  "bench_fig7_intensity"
+  "bench_fig7_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_weights.dir/bench_fig8_weights.cpp.o"
+  "CMakeFiles/bench_fig8_weights.dir/bench_fig8_weights.cpp.o.d"
+  "CMakeFiles/bench_fig8_weights.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig8_weights.dir/bench_util.cpp.o.d"
+  "bench_fig8_weights"
+  "bench_fig8_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hwcost.dir/bench_table2_hwcost.cpp.o"
+  "CMakeFiles/bench_table2_hwcost.dir/bench_table2_hwcost.cpp.o.d"
+  "CMakeFiles/bench_table2_hwcost.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table2_hwcost.dir/bench_util.cpp.o.d"
+  "bench_table2_hwcost"
+  "bench_table2_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

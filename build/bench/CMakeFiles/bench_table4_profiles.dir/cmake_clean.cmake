@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_profiles.dir/bench_table4_profiles.cpp.o"
+  "CMakeFiles/bench_table4_profiles.dir/bench_table4_profiles.cpp.o.d"
+  "CMakeFiles/bench_table4_profiles.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table4_profiles.dir/bench_util.cpp.o.d"
+  "bench_table4_profiles"
+  "bench_table4_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

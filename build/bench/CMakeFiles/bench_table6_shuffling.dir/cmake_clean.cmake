@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_shuffling.dir/bench_table6_shuffling.cpp.o"
+  "CMakeFiles/bench_table6_shuffling.dir/bench_table6_shuffling.cpp.o.d"
+  "CMakeFiles/bench_table6_shuffling.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table6_shuffling.dir/bench_util.cpp.o.d"
+  "bench_table6_shuffling"
+  "bench_table6_shuffling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_shuffling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

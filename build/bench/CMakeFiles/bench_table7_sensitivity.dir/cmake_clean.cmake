@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_sensitivity.dir/bench_table7_sensitivity.cpp.o"
+  "CMakeFiles/bench_table7_sensitivity.dir/bench_table7_sensitivity.cpp.o.d"
+  "CMakeFiles/bench_table7_sensitivity.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table7_sensitivity.dir/bench_util.cpp.o.d"
+  "bench_table7_sensitivity"
+  "bench_table7_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_systemconfig.dir/bench_table8_systemconfig.cpp.o"
+  "CMakeFiles/bench_table8_systemconfig.dir/bench_table8_systemconfig.cpp.o.d"
+  "CMakeFiles/bench_table8_systemconfig.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table8_systemconfig.dir/bench_util.cpp.o.d"
+  "bench_table8_systemconfig"
+  "bench_table8_systemconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_systemconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_demo.dir/attack_demo.cpp.o"
+  "CMakeFiles/example_attack_demo.dir/attack_demo.cpp.o.d"
+  "example_attack_demo"
+  "example_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

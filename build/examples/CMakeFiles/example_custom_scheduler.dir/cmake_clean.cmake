@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_scheduler.dir/custom_scheduler.cpp.o"
+  "CMakeFiles/example_custom_scheduler.dir/custom_scheduler.cpp.o.d"
+  "example_custom_scheduler"
+  "example_custom_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fairness_knob.dir/fairness_knob.cpp.o"
+  "CMakeFiles/example_fairness_knob.dir/fairness_knob.cpp.o.d"
+  "example_fairness_knob"
+  "example_fairness_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fairness_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

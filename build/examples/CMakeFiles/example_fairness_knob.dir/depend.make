@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fairness_knob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multithreaded_app.dir/multithreaded_app.cpp.o"
+  "CMakeFiles/example_multithreaded_app.dir/multithreaded_app.cpp.o.d"
+  "example_multithreaded_app"
+  "example_multithreaded_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multithreaded_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

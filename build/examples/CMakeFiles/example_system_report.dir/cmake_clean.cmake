@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_system_report.dir/system_report.cpp.o"
+  "CMakeFiles/example_system_report.dir/system_report.cpp.o.d"
+  "example_system_report"
+  "example_system_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_system_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

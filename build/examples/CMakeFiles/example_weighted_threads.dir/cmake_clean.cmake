@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_weighted_threads.dir/weighted_threads.cpp.o"
+  "CMakeFiles/example_weighted_threads.dir/weighted_threads.cpp.o.d"
+  "example_weighted_threads"
+  "example_weighted_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_weighted_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_weighted_threads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_common.dir/common/env.cpp.o"
+  "CMakeFiles/tcm_common.dir/common/env.cpp.o.d"
+  "CMakeFiles/tcm_common.dir/common/random.cpp.o"
+  "CMakeFiles/tcm_common.dir/common/random.cpp.o.d"
+  "libtcm_common.a"
+  "libtcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_core.dir/core/core.cpp.o"
+  "CMakeFiles/tcm_core.dir/core/core.cpp.o.d"
+  "libtcm_core.a"
+  "libtcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

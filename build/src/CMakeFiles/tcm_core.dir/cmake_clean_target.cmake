@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcm_core.a"
+)

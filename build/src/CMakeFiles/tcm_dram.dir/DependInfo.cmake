@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address.cpp" "src/CMakeFiles/tcm_dram.dir/dram/address.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/address.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/tcm_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/channel.cpp" "src/CMakeFiles/tcm_dram.dir/dram/channel.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/channel.cpp.o.d"
+  "/root/repo/src/dram/energy.cpp" "src/CMakeFiles/tcm_dram.dir/dram/energy.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/energy.cpp.o.d"
+  "/root/repo/src/dram/rank.cpp" "src/CMakeFiles/tcm_dram.dir/dram/rank.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/rank.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/tcm_dram.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/tcm_dram.dir/dram/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_dram.dir/dram/address.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/address.cpp.o.d"
+  "CMakeFiles/tcm_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/tcm_dram.dir/dram/channel.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/channel.cpp.o.d"
+  "CMakeFiles/tcm_dram.dir/dram/energy.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/energy.cpp.o.d"
+  "CMakeFiles/tcm_dram.dir/dram/rank.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/rank.cpp.o.d"
+  "CMakeFiles/tcm_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/tcm_dram.dir/dram/timing.cpp.o.d"
+  "libtcm_dram.a"
+  "libtcm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

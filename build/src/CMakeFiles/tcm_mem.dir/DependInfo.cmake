@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cpp" "src/CMakeFiles/tcm_mem.dir/mem/controller.cpp.o" "gcc" "src/CMakeFiles/tcm_mem.dir/mem/controller.cpp.o.d"
+  "/root/repo/src/mem/latency_tracker.cpp" "src/CMakeFiles/tcm_mem.dir/mem/latency_tracker.cpp.o" "gcc" "src/CMakeFiles/tcm_mem.dir/mem/latency_tracker.cpp.o.d"
+  "/root/repo/src/mem/request_queue.cpp" "src/CMakeFiles/tcm_mem.dir/mem/request_queue.cpp.o" "gcc" "src/CMakeFiles/tcm_mem.dir/mem/request_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

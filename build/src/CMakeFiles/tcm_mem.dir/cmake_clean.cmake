@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_mem.dir/mem/controller.cpp.o"
+  "CMakeFiles/tcm_mem.dir/mem/controller.cpp.o.d"
+  "CMakeFiles/tcm_mem.dir/mem/latency_tracker.cpp.o"
+  "CMakeFiles/tcm_mem.dir/mem/latency_tracker.cpp.o.d"
+  "CMakeFiles/tcm_mem.dir/mem/request_queue.cpp.o"
+  "CMakeFiles/tcm_mem.dir/mem/request_queue.cpp.o.d"
+  "libtcm_mem.a"
+  "libtcm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/tcm_metrics.dir/metrics/metrics.cpp.o.d"
+  "libtcm_metrics.a"
+  "libtcm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

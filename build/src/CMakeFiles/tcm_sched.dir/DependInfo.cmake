@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/atlas.cpp" "src/CMakeFiles/tcm_sched.dir/sched/atlas.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/atlas.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/CMakeFiles/tcm_sched.dir/sched/factory.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/factory.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/CMakeFiles/tcm_sched.dir/sched/fcfs.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/fcfs.cpp.o.d"
+  "/root/repo/src/sched/fixed_rank.cpp" "src/CMakeFiles/tcm_sched.dir/sched/fixed_rank.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/fixed_rank.cpp.o.d"
+  "/root/repo/src/sched/fqm.cpp" "src/CMakeFiles/tcm_sched.dir/sched/fqm.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/fqm.cpp.o.d"
+  "/root/repo/src/sched/frfcfs.cpp" "src/CMakeFiles/tcm_sched.dir/sched/frfcfs.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/frfcfs.cpp.o.d"
+  "/root/repo/src/sched/parbs.cpp" "src/CMakeFiles/tcm_sched.dir/sched/parbs.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/parbs.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/tcm_sched.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/stfm.cpp" "src/CMakeFiles/tcm_sched.dir/sched/stfm.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/stfm.cpp.o.d"
+  "/root/repo/src/sched/tcm/clustering.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/clustering.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/clustering.cpp.o.d"
+  "/root/repo/src/sched/tcm/hw_cost.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/hw_cost.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/hw_cost.cpp.o.d"
+  "/root/repo/src/sched/tcm/monitor.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/monitor.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/monitor.cpp.o.d"
+  "/root/repo/src/sched/tcm/niceness.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/niceness.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/niceness.cpp.o.d"
+  "/root/repo/src/sched/tcm/shuffle.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/shuffle.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/shuffle.cpp.o.d"
+  "/root/repo/src/sched/tcm/tcm.cpp" "src/CMakeFiles/tcm_sched.dir/sched/tcm/tcm.cpp.o" "gcc" "src/CMakeFiles/tcm_sched.dir/sched/tcm/tcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

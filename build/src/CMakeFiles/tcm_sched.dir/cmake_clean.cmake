@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_sched.dir/sched/atlas.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/atlas.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/factory.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/factory.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/fcfs.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/fcfs.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/fixed_rank.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/fixed_rank.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/fqm.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/fqm.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/frfcfs.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/frfcfs.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/parbs.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/parbs.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/scheduler.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/stfm.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/stfm.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/clustering.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/clustering.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/hw_cost.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/hw_cost.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/monitor.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/monitor.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/niceness.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/niceness.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/shuffle.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/shuffle.cpp.o.d"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/tcm.cpp.o"
+  "CMakeFiles/tcm_sched.dir/sched/tcm/tcm.cpp.o.d"
+  "libtcm_sched.a"
+  "libtcm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

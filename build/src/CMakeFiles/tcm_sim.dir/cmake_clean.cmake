@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_sim.dir/sim/alone_cache.cpp.o"
+  "CMakeFiles/tcm_sim.dir/sim/alone_cache.cpp.o.d"
+  "CMakeFiles/tcm_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/tcm_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/tcm_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/tcm_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/tcm_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/tcm_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/tcm_sim.dir/sim/system_config.cpp.o"
+  "CMakeFiles/tcm_sim.dir/sim/system_config.cpp.o.d"
+  "libtcm_sim.a"
+  "libtcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

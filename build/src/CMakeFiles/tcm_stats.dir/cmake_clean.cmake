@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/tcm_stats.dir/stats/histogram.cpp.o.d"
+  "libtcm_stats.a"
+  "libtcm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

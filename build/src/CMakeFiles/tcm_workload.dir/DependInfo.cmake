@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_table.cpp" "src/CMakeFiles/tcm_workload.dir/workload/benchmark_table.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/benchmark_table.cpp.o.d"
+  "/root/repo/src/workload/mixes.cpp" "src/CMakeFiles/tcm_workload.dir/workload/mixes.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/mixes.cpp.o.d"
+  "/root/repo/src/workload/multithreaded.cpp" "src/CMakeFiles/tcm_workload.dir/workload/multithreaded.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/multithreaded.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/CMakeFiles/tcm_workload.dir/workload/profile.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/profile.cpp.o.d"
+  "/root/repo/src/workload/synthetic_trace.cpp" "src/CMakeFiles/tcm_workload.dir/workload/synthetic_trace.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/synthetic_trace.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/CMakeFiles/tcm_workload.dir/workload/trace_file.cpp.o" "gcc" "src/CMakeFiles/tcm_workload.dir/workload/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_workload.dir/workload/benchmark_table.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/benchmark_table.cpp.o.d"
+  "CMakeFiles/tcm_workload.dir/workload/mixes.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/mixes.cpp.o.d"
+  "CMakeFiles/tcm_workload.dir/workload/multithreaded.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/multithreaded.cpp.o.d"
+  "CMakeFiles/tcm_workload.dir/workload/profile.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/profile.cpp.o.d"
+  "CMakeFiles/tcm_workload.dir/workload/synthetic_trace.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/synthetic_trace.cpp.o.d"
+  "CMakeFiles/tcm_workload.dir/workload/trace_file.cpp.o"
+  "CMakeFiles/tcm_workload.dir/workload/trace_file.cpp.o.d"
+  "libtcm_workload.a"
+  "libtcm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params.dir/test_params.cpp.o"
+  "CMakeFiles/test_params.dir/test_params.cpp.o.d"
+  "test_params"
+  "test_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

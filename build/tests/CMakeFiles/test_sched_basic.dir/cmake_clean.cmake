@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_basic.dir/test_sched_basic.cpp.o"
+  "CMakeFiles/test_sched_basic.dir/test_sched_basic.cpp.o.d"
+  "test_sched_basic"
+  "test_sched_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

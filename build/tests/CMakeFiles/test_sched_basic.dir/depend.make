@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sched_basic.
+# This may be replaced when dependencies are built.

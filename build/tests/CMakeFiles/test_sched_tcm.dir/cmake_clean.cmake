@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_tcm.dir/test_sched_tcm.cpp.o"
+  "CMakeFiles/test_sched_tcm.dir/test_sched_tcm.cpp.o.d"
+  "test_sched_tcm"
+  "test_sched_tcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_tcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_file.dir/test_trace_file.cpp.o"
+  "CMakeFiles/test_trace_file.dir/test_trace_file.cpp.o.d"
+  "test_trace_file"
+  "test_trace_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

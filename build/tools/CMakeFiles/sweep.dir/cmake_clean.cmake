@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep.dir/sweep.cpp.o"
+  "CMakeFiles/sweep.dir/sweep.cpp.o.d"
+  "sweep"
+  "sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

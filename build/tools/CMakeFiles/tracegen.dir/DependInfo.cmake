@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/tracegen.cpp" "tools/CMakeFiles/tracegen.dir/tracegen.cpp.o" "gcc" "tools/CMakeFiles/tracegen.dir/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

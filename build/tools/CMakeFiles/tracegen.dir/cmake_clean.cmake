@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracegen.dir/tracegen.cpp.o"
+  "CMakeFiles/tracegen.dir/tracegen.cpp.o.d"
+  "tracegen"
+  "tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
