@@ -13,6 +13,9 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
@@ -39,6 +42,25 @@ row(const char *label, const sim::AggregateResult &r)
                 r.weightedSpeedup.mean(), r.maxSlowdown.mean());
 }
 
+/** Blocks that compare specs under ONE config share a cache and run as
+ *  one parallel matrix; config-varying blocks use evalConfig per row. */
+void
+rows(const sim::SystemConfig &config,
+     const std::vector<std::pair<const char *, sched::SchedulerSpec>> &specs,
+     const sim::ExperimentScale &scale, std::uint64_t seed)
+{
+    auto workloads = workload::workloadSet(scale.workloadsPerCategory,
+                                           config.numCores, 0.5, 9900);
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    std::vector<sched::SchedulerSpec> list;
+    for (const auto &[label, spec] : specs)
+        list.push_back(spec);
+    auto aggs =
+        sim::evaluateMatrix(config, workloads, list, scale, cache, seed);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        row(specs[i].first, aggs[i]);
+}
+
 } // namespace
 
 int
@@ -51,10 +73,10 @@ main()
     {
         std::printf("-- row-hit-first scheduling --\n");
         sim::SystemConfig config;
-        row("FR-FCFS (row-hit first)",
-            evalConfig(config, sched::SchedulerSpec::frfcfs(), scale, 1));
-        row("FCFS (arrival order only)",
-            evalConfig(config, sched::SchedulerSpec::fcfs(), scale, 1));
+        rows(config,
+             {{"FR-FCFS (row-hit first)", sched::SchedulerSpec::frfcfs()},
+              {"FCFS (arrival order only)", sched::SchedulerSpec::fcfs()}},
+             scale, 1);
     }
 
     {
@@ -116,16 +138,19 @@ main()
     {
         std::printf("\n-- extra baseline: fair queueing (FQM) --\n");
         sim::SystemConfig config;
-        row("FQM (bandwidth fairness)",
-            evalConfig(config, sched::SchedulerSpec::fqmSpec(), scale, 5));
-        row("TCM", evalConfig(config, sched::SchedulerSpec::tcmSpec(),
-                              scale, 5));
+        rows(config,
+             {{"FQM (bandwidth fairness)", sched::SchedulerSpec::fqmSpec()},
+              {"TCM", sched::SchedulerSpec::tcmSpec()}},
+             scale, 5);
     }
 
     {
         std::printf("\n-- ATLAS aging threshold (starvation valve) --\n");
+        sim::SystemConfig config;
+        std::vector<std::pair<const char *, sched::SchedulerSpec>> points;
+        std::vector<std::string> labels;
+        labels.reserve(3); // c_str() pointers below must stay valid
         for (Cycle aging : {Cycle{25'000}, Cycle{100'000}, kCycleNever}) {
-            sim::SystemConfig config;
             sched::SchedulerSpec spec = sched::SchedulerSpec::atlasSpec();
             spec.atlas.agingThreshold = aging;
             char label[48];
@@ -134,8 +159,10 @@ main()
             else
                 std::snprintf(label, sizeof(label), "ATLAS aging=%lluK",
                               static_cast<unsigned long long>(aging / 1000));
-            row(label, evalConfig(config, spec, scale, 4));
+            labels.emplace_back(label);
+            points.push_back({labels.back().c_str(), spec});
         }
+        rows(config, points, scale, 4);
     }
 
     std::printf(

@@ -40,9 +40,9 @@ main()
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
     std::printf("%-10s %18s %15s\n", "scheduler", "weighted speedup",
                 "max slowdown");
-    for (const auto &spec : sim::priorSchedulers()) {
-        sim::AggregateResult agg = sim::evaluateSet(
-            config, workloads, spec, scale, cache, /*baseSeed=*/1);
+    for (const auto &agg :
+         sim::evaluateMatrix(config, workloads, sim::priorSchedulers(),
+                             scale, cache, /*baseSeed=*/1)) {
         std::printf("%-10s %18.2f %15.2f\n", agg.scheduler.c_str(),
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());
     }

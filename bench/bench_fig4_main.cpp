@@ -43,9 +43,8 @@ main()
 
     double atlasWs = 0, atlasMs = 0, parbsWs = 0, parbsMs = 0, tcmWs = 0,
            tcmMs = 0;
-    for (const auto &spec : sim::paperSchedulers()) {
-        sim::AggregateResult agg =
-            sim::evaluateSet(config, workloads, spec, scale, cache, 1);
+    for (const auto &agg : sim::evaluateMatrix(
+             config, workloads, sim::paperSchedulers(), scale, cache, 1)) {
         std::printf("%-10s %18.2f %15.2f %17.3f\n", agg.scheduler.c_str(),
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean(),
                     agg.harmonicSpeedup.mean());

@@ -26,21 +26,28 @@ main()
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
     auto schedulers = sim::paperSchedulers();
 
+    // The A-D grid as one parallel matrix; workload w of every scheduler
+    // gets seed 30+'A'+w, the same per-workload seeds the serial loop
+    // used ('A'..'D' are consecutive).
+    std::vector<std::vector<workload::ThreadProfile>> abcd;
+    for (char w : {'A', 'B', 'C', 'D'})
+        abcd.push_back(workload::tableFiveWorkload(w));
+    auto grid =
+        sim::runMatrix(config, abcd, schedulers, scale, cache, 30 + 'A');
     std::map<std::string, std::map<char, sim::RunResult>> results;
-    for (char w : {'A', 'B', 'C', 'D'}) {
-        auto mix = workload::tableFiveWorkload(w);
-        for (const auto &spec : schedulers)
-            results[spec.name()][w] =
-                sim::runWorkload(config, mix, spec, scale, cache, 30 + w);
-    }
+    for (std::size_t s = 0; s < schedulers.size(); ++s)
+        for (std::size_t w = 0; w < abcd.size(); ++w)
+            results[schedulers[s].name()][static_cast<char>('A' + w)] =
+                grid[s][w];
 
     // AVG column: mean over a set of random 50%-intensity workloads.
     auto avgSet = workload::workloadSet(scale.workloadsPerCategory,
                                         config.numCores, 0.5, 3500);
+    auto avgAggs =
+        sim::evaluateMatrix(config, avgSet, schedulers, scale, cache, 77);
     std::map<std::string, sim::AggregateResult> avg;
-    for (const auto &spec : schedulers)
-        avg[spec.name()] =
-            sim::evaluateSet(config, avgSet, spec, scale, cache, 77);
+    for (const auto &agg : avgAggs)
+        avg[agg.scheduler] = agg;
 
     std::printf("\n(a) Weighted speedup\n");
     std::printf("%-10s %8s %8s %8s %8s %8s\n", "scheduler", "A", "B", "C",

@@ -25,18 +25,14 @@ namespace {
 
 using namespace tcm;
 
-void
-sweepPoint(const sim::SystemConfig &config,
-           const std::vector<std::vector<workload::ThreadProfile>> &wl,
-           const sim::ExperimentScale &scale, sim::AloneIpcCache &cache,
-           const sched::SchedulerSpec &spec, const std::string &label)
+/** One point of the sweep: a spec variant, its label, and whether a
+ *  blank separator line follows it (end of that algorithm's sweep). */
+struct SweepPoint
 {
-    sim::AggregateResult agg =
-        sim::evaluateSet(config, wl, spec, scale, cache, 9);
-    std::printf("%-10s %-16s WS=%6.2f  MS=%6.2f  HS=%6.3f\n", spec.name(),
-                label.c_str(), agg.weightedSpeedup.mean(),
-                agg.maxSlowdown.mean(), agg.harmonicSpeedup.mean());
-}
+    sched::SchedulerSpec spec;
+    std::string label;
+    bool groupEnd = false;
+};
 
 } // namespace
 
@@ -56,33 +52,36 @@ main()
                                     config.numCores, 0.5, 4000);
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
 
+    // Collect every sweep point up front so the whole figure runs as a
+    // single (point x workload) parallel matrix.
+    std::vector<SweepPoint> points;
+
     // TCM: ClusterThresh sweep (the paper's knob).
     for (int num = 2; num <= 6; ++num) {
         sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
         spec.tcm.clusterThreshNumerator = num;
-        sweepPoint(config, wl, scale, cache, spec,
-                   "ClusterThresh=" + std::to_string(num) + "/24");
+        points.push_back({spec,
+                          "ClusterThresh=" + std::to_string(num) + "/24",
+                          num == 6});
     }
-    std::printf("\n");
 
     // ATLAS: QuantumLength sweep (fractions of the run).
     for (double frac : {0.01, 0.05, 0.1, 0.5}) {
         sched::SchedulerSpec spec = sched::SchedulerSpec::atlasSpec();
         spec.atlas.quantum =
             std::max<Cycle>(10'000, static_cast<Cycle>(frac * scale.measure));
-        sweepPoint(config, wl, scale, cache, spec,
-                   "Quantum=" + std::to_string(spec.atlas.quantum));
+        points.push_back({spec,
+                          "Quantum=" + std::to_string(spec.atlas.quantum),
+                          frac == 0.5});
     }
-    std::printf("\n");
 
     // PAR-BS: BatchCap sweep.
     for (int cap : {1, 2, 5, 10}) {
         sched::SchedulerSpec spec = sched::SchedulerSpec::parbsSpec();
         spec.parbs.batchCap = cap;
-        sweepPoint(config, wl, scale, cache, spec,
-                   "BatchCap=" + std::to_string(cap));
+        points.push_back(
+            {spec, "BatchCap=" + std::to_string(cap), cap == 10});
     }
-    std::printf("\n");
 
     // STFM: FairnessThreshold sweep.
     for (double thresh : {1.0, 1.1, 2.0, 5.0}) {
@@ -90,12 +89,26 @@ main()
         spec.stfm.fairnessThreshold = thresh;
         char label[32];
         std::snprintf(label, sizeof(label), "Thresh=%.1f", thresh);
-        sweepPoint(config, wl, scale, cache, spec, label);
+        points.push_back({spec, label, thresh == 5.0});
     }
-    std::printf("\n");
 
-    sweepPoint(config, wl, scale, cache, sched::SchedulerSpec::frfcfs(),
-               "(no knob)");
+    points.push_back({sched::SchedulerSpec::frfcfs(), "(no knob)", false});
+
+    std::vector<sched::SchedulerSpec> specs;
+    specs.reserve(points.size());
+    for (const SweepPoint &p : points)
+        specs.push_back(p.spec);
+    auto aggs = sim::evaluateMatrix(config, wl, specs, scale, cache, 9);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const sim::AggregateResult &agg = aggs[i];
+        std::printf("%-10s %-16s WS=%6.2f  MS=%6.2f  HS=%6.3f\n",
+                    agg.scheduler.c_str(), points[i].label.c_str(),
+                    agg.weightedSpeedup.mean(), agg.maxSlowdown.mean(),
+                    agg.harmonicSpeedup.mean());
+        if (points[i].groupEnd)
+            std::printf("\n");
+    }
 
     std::printf("\npaper's reading: TCM's ClusterThresh traces a smooth WS/"
                 "MS frontier;\nATLAS's MS barely moves with its quantum, "

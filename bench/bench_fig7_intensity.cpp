@@ -37,9 +37,9 @@ main()
                                         config.numCores, intensity,
                                         5000 + static_cast<int>(
                                                    intensity * 100));
-        for (const auto &spec : schedulers)
-            results[spec.name()][static_cast<int>(intensity * 100)] =
-                sim::evaluateSet(config, wl, spec, scale, cache, 3);
+        for (const auto &agg : sim::evaluateMatrix(config, wl, schedulers,
+                                                   scale, cache, 3))
+            results[agg.scheduler][static_cast<int>(intensity * 100)] = agg;
     }
 
     std::printf("\n(a) System throughput (weighted speedup)\n");

@@ -6,11 +6,15 @@
  * not paper results.
  */
 
+#include <algorithm>
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "common/random.hpp"
 #include "sched/tcm/monitor.hpp"
 #include "sched/tcm/shuffle.hpp"
+#include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "workload/mixes.hpp"
 
@@ -111,6 +115,46 @@ BM_InsertionShuffleStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_InsertionShuffleStep)->Arg(8)->Arg(24);
+
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    // Sweep-layer throughput (workloads/second) at a given pool size.
+    // items_per_second at Arg(hardware_concurrency) over Arg(1) is the
+    // parallel-runner speedup tracked in the perf trajectory.
+    const int jobs = static_cast<int>(state.range(0));
+    sim::SystemConfig config;
+    config.numCores = 4;
+    config.numChannels = 2;
+    sim::ExperimentScale scale;
+    scale.warmup = 2'000;
+    scale.measure = 30'000;
+    auto workloads = workload::workloadSet(16, config.numCores, 0.5, 42);
+
+    // Prewarm once so the timed region measures the sweep itself, not
+    // the alone-IPC denominators.
+    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    {
+        ThreadPool pool(jobs);
+        cache.prewarm(workloads, pool);
+    }
+
+    for (auto _ : state) {
+        sim::AggregateResult agg =
+            sim::evaluateSet(config, workloads,
+                             sched::SchedulerSpec::tcmSpec(), scale, cache,
+                             1, jobs);
+        benchmark::DoNotOptimize(agg.weightedSpeedup.mean());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(workloads.size()));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(static_cast<int>(
+        std::max(2u, std::thread::hardware_concurrency())))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

@@ -29,23 +29,36 @@ main()
                                            config.numCores, 0.5, 7000);
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
 
-    std::printf("%-28s %18s %15s\n", "parameter", "weighted speedup",
-                "max slowdown");
-
-    for (double thresh : {0.05, 0.07, 0.10}) {
+    // Both parameter sweeps share the workload set and seed, so they run
+    // as one parallel matrix: rows 0-2 are the ShuffleAlgoThresh sweep,
+    // rows 3-6 the ShuffleInterval sweep.
+    const double threshes[] = {0.05, 0.07, 0.10};
+    const Cycle intervals[] = {500, 600, 700, 800};
+    std::vector<sched::SchedulerSpec> specs;
+    for (double thresh : threshes) {
         sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
         spec.tcm.shuffleAlgoThresh = thresh;
-        sim::AggregateResult agg =
-            sim::evaluateSet(config, workloads, spec, scale, cache, 21);
+        specs.push_back(spec);
+    }
+    for (Cycle interval : intervals) {
+        sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+        spec.tcm.shuffleInterval = interval;
+        specs.push_back(spec);
+    }
+    auto aggs =
+        sim::evaluateMatrix(config, workloads, specs, scale, cache, 21);
+
+    std::printf("%-28s %18s %15s\n", "parameter", "weighted speedup",
+                "max slowdown");
+    std::size_t row = 0;
+    for (double thresh : threshes) {
+        const sim::AggregateResult &agg = aggs[row++];
         std::printf("ShuffleAlgoThresh=%-10.2f %18.2f %15.2f\n", thresh,
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());
     }
     std::printf("\n");
-    for (Cycle interval : {Cycle{500}, Cycle{600}, Cycle{700}, Cycle{800}}) {
-        sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
-        spec.tcm.shuffleInterval = interval;
-        sim::AggregateResult agg =
-            sim::evaluateSet(config, workloads, spec, scale, cache, 21);
+    for (Cycle interval : intervals) {
+        const sim::AggregateResult &agg = aggs[row++];
         std::printf("ShuffleInterval=%-12llu %18.2f %15.2f\n",
                     static_cast<unsigned long long>(interval),
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());

@@ -28,12 +28,12 @@ compare(sim::SystemConfig config, const sim::ExperimentScale &scale,
     auto workloads = workload::workloadSet(scale.workloadsPerCategory,
                                            config.numCores, 0.5, 8000);
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
-    sim::AggregateResult tcm =
-        sim::evaluateSet(config, workloads, sched::SchedulerSpec::tcmSpec(),
-                         scale, cache, 31);
-    sim::AggregateResult atlas = sim::evaluateSet(
-        config, workloads, sched::SchedulerSpec::atlasSpec(), scale, cache,
-        31);
+    auto aggs = sim::evaluateMatrix(config, workloads,
+                                    {sched::SchedulerSpec::tcmSpec(),
+                                     sched::SchedulerSpec::atlasSpec()},
+                                    scale, cache, 31);
+    const sim::AggregateResult &tcm = aggs[0];
+    const sim::AggregateResult &atlas = aggs[1];
     std::printf("%-24s  dWS %+6.1f%%   dMS %+6.1f%%   (TCM %5.2f/%5.2f, "
                 "ATLAS %5.2f/%5.2f)\n",
                 label.c_str(),

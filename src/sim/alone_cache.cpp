@@ -1,5 +1,7 @@
 #include "sim/alone_cache.hpp"
 
+#include <set>
+
 #include "sim/simulator.hpp"
 
 namespace tcm::sim {
@@ -10,22 +12,57 @@ AloneIpcCache::AloneIpcCache(const SystemConfig &config, Cycle warmup,
 {
 }
 
-double
-AloneIpcCache::aloneIpc(const workload::ThreadProfile &profile)
+AloneIpcCache::Entry &
+AloneIpcCache::entryFor(const Key &key)
 {
-    Key key{profile.mpki, profile.rbl, profile.blp, profile.writeFraction};
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_[key];
+}
 
+double
+AloneIpcCache::computeAloneIpc(const workload::ThreadProfile &profile) const
+{
     workload::ThreadProfile alone = profile;
     alone.weight = 1; // weights are meaningless without competitors
     Simulator sim(config_, {alone}, sched::SchedulerSpec::frfcfs(),
                   /*seed=*/42);
     sim.run(warmup_, measure_);
-    double ipc = sim.measuredIpc(0);
-    cache_.emplace(key, ipc);
-    return ipc;
+    return sim.measuredIpc(0);
+}
+
+double
+AloneIpcCache::aloneIpc(const workload::ThreadProfile &profile)
+{
+    Entry &entry = entryFor(profile.aloneBehaviorKey());
+    // Per-entry latch: the first caller simulates (outside the map lock,
+    // so other keys proceed in parallel); concurrent callers of the same
+    // key block here until the value is ready.
+    std::call_once(entry.once,
+                   [&] { entry.ipc = computeAloneIpc(profile); });
+    return entry.ipc;
+}
+
+void
+AloneIpcCache::prewarm(
+    const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+    ThreadPool &pool)
+{
+    std::vector<const workload::ThreadProfile *> distinct;
+    std::set<Key> seen;
+    for (const auto &mix : workloads)
+        for (const auto &profile : mix)
+            if (seen.insert(profile.aloneBehaviorKey()).second)
+                distinct.push_back(&profile);
+
+    pool.parallelFor(distinct.size(),
+                     [&](std::size_t i) { aloneIpc(*distinct[i]); });
+}
+
+std::size_t
+AloneIpcCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
 }
 
 } // namespace tcm::sim

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <map>
-#include <tuple>
+#include <mutex>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "sim/system_config.hpp"
 #include "workload/profile.hpp"
@@ -25,6 +27,12 @@ namespace tcm::sim {
  * The alone run uses FR-FCFS (the scheduler is irrelevant without
  * contention) and a canonical trace seed; shared runs use per-instance
  * seeds, which changes addresses but not the stream's statistics.
+ *
+ * Concurrency: safe to call from many sweep workers at once. Entries
+ * carry a per-key latch (std::once_flag), so two workers asking for the
+ * same profile block on one alone simulation instead of both running it,
+ * while different profiles simulate in parallel. prewarm() fills the
+ * cache up front across a pool so the sweep proper starts read-only.
  */
 class AloneIpcCache
 {
@@ -34,16 +42,40 @@ class AloneIpcCache
     /** Alone IPC of @p profile, simulating on first use. */
     double aloneIpc(const workload::ThreadProfile &profile);
 
+    /**
+     * Simulate every distinct profile of @p workloads not yet cached,
+     * fanned out across @p pool. Idempotent; after it returns, aloneIpc
+     * for those profiles is a pure lookup.
+     */
+    void
+    prewarm(const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+            ThreadPool &pool);
+
     /** Number of memoized entries (tests). */
-    std::size_t size() const { return cache_.size(); }
+    std::size_t size() const;
 
   private:
-    using Key = std::tuple<double, double, double, double>;
+    /** Single source of truth for what distinguishes two alone runs —
+     *  see workload::ThreadProfile::aloneBehaviorKey(). */
+    using Key = workload::ThreadProfile::AloneBehaviorKey;
+
+    struct Entry
+    {
+        std::once_flag once;
+        double ipc = 0.0;
+    };
+
+    /** Find-or-create the entry for @p key (brief map-lock only). */
+    Entry &entryFor(const Key &key);
+
+    /** The actual alone simulation (runs outside the map lock). */
+    double computeAloneIpc(const workload::ThreadProfile &profile) const;
 
     SystemConfig config_;
     Cycle warmup_;
     Cycle measure_;
-    std::map<Key, double> cache_;
+    mutable std::mutex mutex_;    //!< guards cache_ structure only
+    std::map<Key, Entry> cache_;  //!< node-stable: Entry& survives inserts
 };
 
 } // namespace tcm::sim

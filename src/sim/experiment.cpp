@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include "common/env.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace tcm::sim {
@@ -39,22 +40,69 @@ runWorkload(const SystemConfig &config,
     return result;
 }
 
+std::vector<std::vector<RunResult>>
+runMatrix(const SystemConfig &config,
+          const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+          const std::vector<sched::SchedulerSpec> &specs,
+          const ExperimentScale &scale, AloneIpcCache &cache,
+          std::uint64_t baseSeed, int jobs)
+{
+    ThreadPool pool(jobs);
+
+    // Fill the alone-IPC denominators first so the sweep tasks below hit
+    // a read-only cache (and the alone runs themselves parallelize
+    // instead of serializing behind per-key latches mid-sweep).
+    cache.prewarm(workloads, pool);
+
+    std::vector<std::vector<RunResult>> results(specs.size());
+    for (auto &row : results)
+        row.resize(workloads.size());
+
+    // One flat task per (scheduler, workload) cell; each writes only its
+    // own slot, so no result synchronization is needed.
+    const std::size_t cells = specs.size() * workloads.size();
+    pool.parallelFor(cells, [&](std::size_t i) {
+        const std::size_t s = i / workloads.size();
+        const std::size_t w = i % workloads.size();
+        results[s][w] = runWorkload(config, workloads[w], specs[s], scale,
+                                    cache, baseSeed + w);
+    });
+    return results;
+}
+
+std::vector<AggregateResult>
+evaluateMatrix(const SystemConfig &config,
+               const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+               const std::vector<sched::SchedulerSpec> &specs,
+               const ExperimentScale &scale, AloneIpcCache &cache,
+               std::uint64_t baseSeed, int jobs)
+{
+    auto runs = runMatrix(config, workloads, specs, scale, cache, baseSeed,
+                          jobs);
+
+    std::vector<AggregateResult> aggregates(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        aggregates[s].scheduler = specs[s].name();
+        // Fold in workload order: Welford accumulation is order-
+        // sensitive, and this order is what the serial driver used.
+        for (const RunResult &r : runs[s]) {
+            aggregates[s].weightedSpeedup.add(r.metrics.weightedSpeedup);
+            aggregates[s].maxSlowdown.add(r.metrics.maxSlowdown);
+            aggregates[s].harmonicSpeedup.add(r.metrics.harmonicSpeedup);
+        }
+    }
+    return aggregates;
+}
+
 AggregateResult
 evaluateSet(const SystemConfig &config,
             const std::vector<std::vector<workload::ThreadProfile>> &workloads,
             const sched::SchedulerSpec &spec, const ExperimentScale &scale,
-            AloneIpcCache &cache, std::uint64_t baseSeed)
+            AloneIpcCache &cache, std::uint64_t baseSeed, int jobs)
 {
-    AggregateResult agg;
-    agg.scheduler = spec.name();
-    std::uint64_t seed = baseSeed;
-    for (const auto &mix : workloads) {
-        RunResult r = runWorkload(config, mix, spec, scale, cache, seed++);
-        agg.weightedSpeedup.add(r.metrics.weightedSpeedup);
-        agg.maxSlowdown.add(r.metrics.maxSlowdown);
-        agg.harmonicSpeedup.add(r.metrics.harmonicSpeedup);
-    }
-    return agg;
+    return evaluateMatrix(config, workloads, {spec}, scale, cache, baseSeed,
+                          jobs)
+        .front();
 }
 
 std::vector<sched::SchedulerSpec>

@@ -1,6 +1,12 @@
 /**
  * @file
  * Experiment drivers: run workloads under schedulers, produce metrics.
+ *
+ * Every (workload, scheduler) simulation is independent and
+ * independently seeded, so the drivers fan the grid out across a
+ * ThreadPool (TCMSIM_JOBS knob; jobs=1 runs inline). Results are
+ * collected by index and reduced in workload order, so aggregate
+ * metrics are bit-identical to a serial run at any thread count.
  */
 
 #pragma once
@@ -57,12 +63,44 @@ struct AggregateResult
     RunningStat harmonicSpeedup;
 };
 
-/** Evaluate @p spec on every workload in @p workloads. */
+/**
+ * Run every (scheduler, workload) pair of the grid as one flat parallel
+ * task list and return the per-run results as result[scheduler][workload].
+ * Workload @p w of every scheduler uses seed baseSeed + w (the serial
+ * evaluateSet seeding), so the grid equals per-scheduler serial runs.
+ * The alone-IPC cache is prewarmed across the pool first.
+ *
+ * @param jobs pool size; <= 0 means ThreadPool::defaultJobs()
+ *        (TCMSIM_JOBS, else all hardware threads); 1 runs serially
+ *        on the calling thread.
+ */
+std::vector<std::vector<RunResult>>
+runMatrix(const SystemConfig &config,
+          const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+          const std::vector<sched::SchedulerSpec> &specs,
+          const ExperimentScale &scale, AloneIpcCache &cache,
+          std::uint64_t baseSeed, int jobs = 0);
+
+/**
+ * runMatrix reduced to one AggregateResult per scheduler (in @p specs
+ * order). Per-workload metrics are folded into the RunningStats in
+ * workload order regardless of task completion order, so the aggregates
+ * are bit-identical across thread counts.
+ */
+std::vector<AggregateResult>
+evaluateMatrix(const SystemConfig &config,
+               const std::vector<std::vector<workload::ThreadProfile>> &workloads,
+               const std::vector<sched::SchedulerSpec> &specs,
+               const ExperimentScale &scale, AloneIpcCache &cache,
+               std::uint64_t baseSeed, int jobs = 0);
+
+/** Evaluate @p spec on every workload in @p workloads (a one-scheduler
+ *  evaluateMatrix: same parallelism, same determinism guarantee). */
 AggregateResult
 evaluateSet(const SystemConfig &config,
             const std::vector<std::vector<workload::ThreadProfile>> &workloads,
             const sched::SchedulerSpec &spec, const ExperimentScale &scale,
-            AloneIpcCache &cache, std::uint64_t baseSeed);
+            AloneIpcCache &cache, std::uint64_t baseSeed, int jobs = 0);
 
 /** The five schedulers of the paper's headline comparison (Figure 4). */
 std::vector<sched::SchedulerSpec> paperSchedulers();

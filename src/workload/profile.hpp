@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <tuple>
 
 #include "common/types.hpp"
 
@@ -29,6 +30,27 @@ struct ThreadProfile
 
     /** The paper's intensity classification: MPKI >= 1 is intensive. */
     bool memoryIntensive() const { return mpki >= 1.0; }
+
+    /**
+     * All fields that determine this thread's behaviour when running
+     * *alone* — the memoization key of sim::AloneIpcCache. The synthetic
+     * trace stream is a function of exactly (mpki, rbl, blp,
+     * writeFraction) plus the DRAM geometry and seed, which the cache
+     * holds per instance. Deliberately excluded: `weight` (a scheduler
+     * input that is meaningless without competitors; the alone run
+     * forces it to 1) and `name` (a label with no behavioural effect).
+     *
+     * If you add a behaviour-affecting field to ThreadProfile, it MUST
+     * be added here, or distinct profiles will alias one cache entry
+     * and corrupt every slowdown metric. tests/test_sim.cpp's
+     * AloneCache.KeyCoversEveryBehaviorField audits this field by field.
+     */
+    using AloneBehaviorKey = std::tuple<double, double, double, double>;
+    AloneBehaviorKey
+    aloneBehaviorKey() const
+    {
+        return {mpki, rbl, blp, writeFraction};
+    }
 };
 
 } // namespace tcm::workload

@@ -5,6 +5,8 @@
  */
 
 #include <algorithm>
+#include <cstdlib>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -219,4 +221,179 @@ TEST(Experiment, PaperSchedulerListsComplete)
 {
     EXPECT_EQ(paperSchedulers().size(), 5u);
     EXPECT_EQ(priorSchedulers().size(), 4u);
+}
+
+TEST(AloneCache, NameDoesNotChangeAloneIpc)
+{
+    // `name` is a label, not behaviour: same entry, same value.
+    SystemConfig cfg = smallConfig();
+    AloneIpcCache cache(cfg, 5000, 30'000);
+    workload::ThreadProfile p = workload::benchmarkProfile("lbm");
+    double base = cache.aloneIpc(p);
+    p.name = "renamed";
+    EXPECT_DOUBLE_EQ(cache.aloneIpc(p), base);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AloneCache, KeyCoversEveryBehaviorField)
+{
+    // Audit of ThreadProfile::aloneBehaviorKey(): perturbing any
+    // behaviour-affecting field must yield a distinct cache entry (no
+    // aliasing), while the two non-behavioural fields (name, weight)
+    // must share the entry. If a new behaviour field is ever added to
+    // ThreadProfile without extending the key, the distinct-entry count
+    // here is where it shows up.
+    SystemConfig cfg = smallConfig();
+    AloneIpcCache cache(cfg, 5000, 30'000);
+    workload::ThreadProfile base;
+    base.mpki = 10.0;
+    base.rbl = 0.5;
+    base.blp = 2.0;
+    base.writeFraction = 0.25;
+    cache.aloneIpc(base);
+    EXPECT_EQ(cache.size(), 1u);
+
+    workload::ThreadProfile p = base;
+    p.mpki = 20.0;
+    cache.aloneIpc(p);
+    EXPECT_EQ(cache.size(), 2u);
+
+    p = base;
+    p.rbl = 0.9;
+    cache.aloneIpc(p);
+    EXPECT_EQ(cache.size(), 3u);
+
+    p = base;
+    p.blp = 3.0;
+    cache.aloneIpc(p);
+    EXPECT_EQ(cache.size(), 4u);
+
+    p = base;
+    p.writeFraction = 0.75;
+    cache.aloneIpc(p);
+    EXPECT_EQ(cache.size(), 5u);
+
+    p = base;
+    p.name = "other";
+    p.weight = 8;
+    cache.aloneIpc(p);
+    EXPECT_EQ(cache.size(), 5u); // label and weight don't simulate anew
+}
+
+TEST(AloneCache, PrewarmFillsEveryDistinctProfile)
+{
+    SystemConfig cfg = smallConfig();
+    AloneIpcCache cache(cfg, 5000, 30'000);
+    auto sets = workload::workloadSet(3, 4, 0.5, 23);
+    std::size_t distinct = 0;
+    {
+        std::set<workload::ThreadProfile::AloneBehaviorKey> keys;
+        for (const auto &mix : sets)
+            for (const auto &p : mix)
+                keys.insert(p.aloneBehaviorKey());
+        distinct = keys.size();
+    }
+    ThreadPool pool(4);
+    cache.prewarm(sets, pool);
+    EXPECT_EQ(cache.size(), distinct);
+    cache.prewarm(sets, pool); // idempotent
+    EXPECT_EQ(cache.size(), distinct);
+}
+
+namespace {
+
+/** Bit-exact comparison: the determinism guarantee is "identical", not
+ *  "close", so no ULP tolerance here. */
+void
+expectStatIdentical(const RunningStat &a, const RunningStat &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.variance(), b.variance());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+void
+expectAggregatesIdentical(const AggregateResult &a, const AggregateResult &b)
+{
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    expectStatIdentical(a.weightedSpeedup, b.weightedSpeedup);
+    expectStatIdentical(a.maxSlowdown, b.maxSlowdown);
+    expectStatIdentical(a.harmonicSpeedup, b.harmonicSpeedup);
+}
+
+} // namespace
+
+TEST(Experiment, EvaluateSetDeterministicAcrossJobCounts)
+{
+    // The acceptance bar of the parallel runner: TCMSIM_JOBS=1 and
+    // TCMSIM_JOBS=8 produce bit-identical aggregates.
+    SystemConfig cfg = smallConfig();
+    ExperimentScale scale = quickScale();
+    auto sets = workload::workloadSet(4, 4, 0.5, 17);
+
+    setenv("TCMSIM_JOBS", "1", 1);
+    AloneIpcCache serialCache(cfg, scale.warmup, scale.measure);
+    AggregateResult serial =
+        evaluateSet(cfg, sets, sched::SchedulerSpec::tcmSpec(), scale,
+                    serialCache, 5);
+
+    setenv("TCMSIM_JOBS", "8", 1);
+    AloneIpcCache parallelCache(cfg, scale.warmup, scale.measure);
+    AggregateResult parallel =
+        evaluateSet(cfg, sets, sched::SchedulerSpec::tcmSpec(), scale,
+                    parallelCache, 5);
+    unsetenv("TCMSIM_JOBS");
+
+    expectAggregatesIdentical(serial, parallel);
+    EXPECT_EQ(serialCache.size(), parallelCache.size());
+}
+
+TEST(Experiment, EvaluateMatrixDeterministicAcrossJobCounts)
+{
+    SystemConfig cfg = smallConfig();
+    ExperimentScale scale = quickScale();
+    auto sets = workload::workloadSet(3, 4, 0.75, 29);
+    std::vector<sched::SchedulerSpec> specs = {
+        sched::SchedulerSpec::frfcfs(),
+        sched::SchedulerSpec::atlasSpec(),
+        sched::SchedulerSpec::tcmSpec(),
+    };
+
+    AloneIpcCache serialCache(cfg, scale.warmup, scale.measure);
+    auto serial =
+        evaluateMatrix(cfg, sets, specs, scale, serialCache, 7, /*jobs=*/1);
+
+    AloneIpcCache parallelCache(cfg, scale.warmup, scale.measure);
+    auto parallel = evaluateMatrix(cfg, sets, specs, scale, parallelCache, 7,
+                                   /*jobs=*/8);
+
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s)
+        expectAggregatesIdentical(serial[s], parallel[s]);
+}
+
+TEST(Experiment, EvaluateMatrixEqualsPerSchedulerEvaluateSet)
+{
+    // The matrix is a packing of independent evaluateSet calls: same
+    // seeds, same fold order, so bit-identical per scheduler.
+    SystemConfig cfg = smallConfig();
+    ExperimentScale scale = quickScale();
+    auto sets = workload::workloadSet(3, 4, 0.5, 41);
+    std::vector<sched::SchedulerSpec> specs = {
+        sched::SchedulerSpec::frfcfs(),
+        sched::SchedulerSpec::tcmSpec(),
+    };
+
+    AloneIpcCache cacheA(cfg, scale.warmup, scale.measure);
+    auto matrix = evaluateMatrix(cfg, sets, specs, scale, cacheA, 3);
+
+    AloneIpcCache cacheB(cfg, scale.warmup, scale.measure);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        AggregateResult single =
+            evaluateSet(cfg, sets, specs[s], scale, cacheB, 3);
+        expectAggregatesIdentical(matrix[s], single);
+    }
 }

@@ -17,8 +17,13 @@
  *     --cycles N          measured cycles (default 300000)
  *     --warmup N          warmup cycles (default 50000)
  *     --seed N            base seed (default 1)
+ *     --jobs N            worker threads (default: TCMSIM_JOBS, else all
+ *                         hardware threads; 1 = serial)
  *
  * Columns: scheduler,intensity,workload,seed,ws,ms,hs
+ * Row order and values are independent of --jobs: runs are independently
+ * seeded and results are emitted in grid order after each intensity's
+ * (scheduler x workload) matrix completes.
  */
 
 #include <cstdio>
@@ -87,6 +92,7 @@ main(int argc, char **argv)
     Cycle cycles = 300'000;
     Cycle warmup = 50'000;
     std::uint64_t seed = 1;
+    int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -113,6 +119,8 @@ main(int argc, char **argv)
             warmup = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--jobs")
+            jobs = std::atoi(value());
         else
             die("unknown option");
     }
@@ -127,26 +135,35 @@ main(int argc, char **argv)
 
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
 
-    std::printf("scheduler,intensity,workload,seed,ws,ms,hs\n");
-    for (const std::string &name : schedulerNames) {
-        sched::SchedulerSpec spec;
-        if (!schedulerByName(name, spec))
+    std::vector<sched::SchedulerSpec> specs(schedulerNames.size());
+    for (std::size_t s = 0; s < schedulerNames.size(); ++s)
+        if (!schedulerByName(schedulerNames[s], specs[s]))
             die("unknown scheduler name");
-        for (double intensity : intensities) {
-            auto set = workload::workloadSet(
-                workloads, cores, intensity,
-                seed + static_cast<std::uint64_t>(intensity * 1000));
-            for (std::size_t w = 0; w < set.size(); ++w) {
-                std::uint64_t runSeed = seed + w;
-                sim::RunResult r = sim::runWorkload(
-                    config, set[w], spec, scale, cache, runSeed);
+
+    // One (scheduler x workload) matrix per intensity; workload w uses
+    // seed + w exactly as the serial loop did.
+    std::vector<std::vector<std::vector<sim::RunResult>>> byIntensity;
+    byIntensity.reserve(intensities.size());
+    for (double intensity : intensities) {
+        auto set = workload::workloadSet(
+            workloads, cores, intensity,
+            seed + static_cast<std::uint64_t>(intensity * 1000));
+        byIntensity.push_back(sim::runMatrix(config, set, specs, scale,
+                                             cache, seed, jobs));
+    }
+
+    std::printf("scheduler,intensity,workload,seed,ws,ms,hs\n");
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        for (std::size_t i = 0; i < intensities.size(); ++i) {
+            const auto &runs = byIntensity[i][s];
+            for (std::size_t w = 0; w < runs.size(); ++w) {
+                const sim::RunResult &r = runs[w];
                 std::printf("%s,%.2f,%zu,%llu,%.4f,%.4f,%.4f\n",
-                            name.c_str(), intensity, w,
-                            static_cast<unsigned long long>(runSeed),
+                            schedulerNames[s].c_str(), intensities[i], w,
+                            static_cast<unsigned long long>(seed + w),
                             r.metrics.weightedSpeedup,
                             r.metrics.maxSlowdown,
                             r.metrics.harmonicSpeedup);
-                std::fflush(stdout);
             }
         }
     }
