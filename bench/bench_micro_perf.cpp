@@ -76,6 +76,29 @@ BENCHMARK(BM_SchedulerComparisonLoop)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
 void
+BM_ProtocolCheckerOverhead(benchmark::State &state)
+{
+    // Full-system simulation speed with the protocol checker detached
+    // (Arg 0) vs attached (Arg 1). With it off the observer list is
+    // empty and the channel skips notification entirely, so Arg 0 must
+    // match BM_SimulatorCyclesPerSecond.
+    sim::SystemConfig config;
+    config.numCores = 8;
+    config.numChannels = 1;
+    config.protocolCheck = state.range(0) != 0;
+    auto mix = workload::randomMix(config.numCores, 1.0, 7);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(1'000'000);
+    sim::Simulator sim(config, mix, spec, 1);
+    sim.step(10'000); // warm structures
+
+    for (auto _ : state)
+        sim.step(10'000);
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ProtocolCheckerOverhead)->Arg(0)->Arg(1);
+
+void
 BM_MonitorHooks(benchmark::State &state)
 {
     sched::ThreadBankMonitor mon;

@@ -5,7 +5,8 @@
 
 namespace tcm::dram {
 
-Channel::Channel(const TimingParams &timing) : timing_(&timing)
+Channel::Channel(const TimingParams &timing, ChannelId id)
+    : timing_(&timing), id_(id)
 {
     assert(timing.banksPerChannel % timing.ranksPerChannel == 0);
     ranks_.reserve(timing.ranksPerChannel);
@@ -14,6 +15,28 @@ Channel::Channel(const TimingParams &timing) : timing_(&timing)
     banks_.reserve(timing.banksPerChannel);
     for (int i = 0; i < timing.banksPerChannel; ++i)
         banks_.emplace_back(timing);
+}
+
+void
+Channel::addObserver(CommandObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+Channel::notifyObservers(CommandKind kind, BankId b, RowId row, Cycle now,
+                         bool autoPre) const
+{
+    CommandEvent ev;
+    ev.cycle = now;
+    ev.channel = id_;
+    ev.rank = rankOf(b);
+    ev.bank = b;
+    ev.kind = kind;
+    ev.row = row;
+    ev.autoPre = autoPre;
+    for (CommandObserver *obs : observers_)
+        obs->onCommand(ev);
 }
 
 bool
@@ -44,8 +67,17 @@ Channel::canIssue(CommandKind kind, BankId b, Cycle now) const
       }
       case CommandKind::Precharge:
         return bank.canPrecharge(now);
-      case CommandKind::Refresh:
-        return rankPrecharged(rankOf(b));
+      case CommandKind::Refresh: {
+        // Refresh internally activates every bank: each bank must be
+        // precharged with tRP elapsed (and tRFC since the previous
+        // refresh), exactly as if an ACT were issued to it.
+        int r = rankOf(b);
+        int base = r * timing_->banksPerRank();
+        for (int i = 0; i < timing_->banksPerRank(); ++i)
+            if (!banks_[base + i].canActivate(now))
+                return false;
+        return true;
+      }
     }
     return false;
 }
@@ -58,6 +90,9 @@ Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
     Bank &bank = banks_[b];
     Rank &rank = ranks_[rankOf(b)];
     cmdBusFreeAt_ = now + timing_->tCK;
+    lastIssueCycle_ = now;
+    if (!observers_.empty())
+        notifyObservers(kind, b, row, now, /*autoPre=*/false);
     switch (kind) {
       case CommandKind::Activate:
         res.occupancy = bank.activate(now, row);
@@ -93,6 +128,15 @@ Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
       }
     }
     return res;
+}
+
+Cycle
+Channel::autoPrecharge(BankId b)
+{
+    if (!observers_.empty())
+        notifyObservers(CommandKind::Precharge, b, banks_[b].openRow(),
+                        lastIssueCycle_, /*autoPre=*/true);
+    return banks_[b].autoPrecharge();
 }
 
 bool
@@ -149,8 +193,15 @@ Channel::earliestIssue(CommandKind kind, BankId b) const
         if (bank.precharged())
             return kCycleNever;
         return std::max(t, bank.preAllowedAt());
-      case CommandKind::Refresh:
-        return rankPrecharged(rankOf(b)) ? t : kCycleNever;
+      case CommandKind::Refresh: {
+        if (!rankPrecharged(rankOf(b)))
+            return kCycleNever;
+        int r = rankOf(b);
+        int base = r * timing_->banksPerRank();
+        for (int i = 0; i < timing_->banksPerRank(); ++i)
+            t = std::max(t, banks_[base + i].actAllowedAt());
+        return t;
+      }
     }
     return kCycleNever;
 }

@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "dram/bank.hpp"
 #include "dram/command.hpp"
+#include "dram/observer.hpp"
 #include "dram/rank.hpp"
 #include "dram/timing.hpp"
 
@@ -30,7 +31,16 @@ namespace tcm::dram {
 class Channel
 {
   public:
-    explicit Channel(const TimingParams &timing);
+    /** @param id channel id stamped onto observed command events. */
+    explicit Channel(const TimingParams &timing, ChannelId id = 0);
+
+    /**
+     * Register @p observer to receive every issued command (and
+     * auto-precharge rider) as a CommandEvent. Observers are purely
+     * passive; with none registered the notification cost is one empty()
+     * check per command.
+     */
+    void addObserver(CommandObserver *observer);
 
     int numBanks() const { return static_cast<int>(banks_.size()); }
     int numRanks() const { return static_cast<int>(ranks_.size()); }
@@ -61,7 +71,7 @@ class Channel
      * Auto-precharge rider on the column command just issued to @p b
      * (closed-page policy). Returns the precharge occupancy (tRP).
      */
-    Cycle autoPrecharge(BankId b) { return banks_[b].autoPrecharge(); }
+    Cycle autoPrecharge(BankId b);
 
     /** True when every bank in every rank is precharged. */
     bool allBanksPrecharged() const;
@@ -79,12 +89,19 @@ class Channel
     Cycle earliestIssue(CommandKind kind, BankId b) const;
 
   private:
+    /** Report one command (or auto-precharge rider) to all observers. */
+    void notifyObservers(CommandKind kind, BankId b, RowId row, Cycle now,
+                         bool autoPre) const;
+
     const TimingParams *timing_;
+    ChannelId id_;
     std::vector<Rank> ranks_;
     std::vector<Bank> banks_;
+    std::vector<CommandObserver *> observers_;
     Cycle cmdBusFreeAt_ = 0;
     Cycle dataBusFreeAt_ = 0;
     Cycle colCmdAllowedAt_ = 0; //!< channel-wide tCCD
+    Cycle lastIssueCycle_ = 0;  //!< stamps auto-precharge rider events
     int lastBurstRank_ = -1;    //!< for the tRTRS rank-switch gap
 };
 

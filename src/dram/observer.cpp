@@ -1,0 +1,34 @@
+#include "dram/observer.hpp"
+
+#include <cstdio>
+
+namespace tcm::dram {
+
+std::string
+formatCommandEvent(const CommandEvent &event)
+{
+    char row[16];
+    if (event.row == kNoRow)
+        std::snprintf(row, sizeof(row), "-");
+    else
+        std::snprintf(row, sizeof(row), "%d", event.row);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%llu ch%d rk%d b%d %s %s",
+                  static_cast<unsigned long long>(event.cycle),
+                  event.channel, event.rank, event.bank,
+                  event.autoPre ? "APR" : commandName(event.kind), row);
+    return buf;
+}
+
+std::string
+CommandTraceRecorder::text() const
+{
+    std::string out;
+    for (const std::string &line : lines_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace tcm::dram

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Command-stream observation hook: every DRAM command issued on a
+ * channel (plus auto-precharge riders) is reported to registered
+ * observers as a flat, self-describing event. This is the substrate for
+ * independent auditing (dram::ProtocolChecker) and command-trace
+ * dumping (dram::CommandTraceRecorder) — consumers see only the raw
+ * trace, never the model's internal timing state.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/command.hpp"
+
+namespace tcm::dram {
+
+/**
+ * One observed event on a channel's command stream. For Refresh, `bank`
+ * is the first bank of the refreshed rank and `row` is kNoRow. For
+ * auto-precharge riders (`autoPre == true`) the event does not occupy
+ * the command bus: it records that the row of `bank` closed as part of
+ * the column command issued at `cycle`.
+ */
+struct CommandEvent
+{
+    Cycle cycle = 0;
+    ChannelId channel = 0;
+    int rank = 0;
+    BankId bank = 0;
+    CommandKind kind = CommandKind::Activate;
+    RowId row = kNoRow;
+    bool autoPre = false;
+};
+
+/** Receives every command event of the channels it is attached to. */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+
+    virtual void onCommand(const CommandEvent &event) = 0;
+};
+
+/**
+ * Compact one-line text form, the unit of the golden-trace format:
+ * `<cycle> ch<channel> rk<rank> b<bank> <CMD> <row>`, with "APR" for
+ * auto-precharge riders and "-" for kNoRow.
+ */
+std::string formatCommandEvent(const CommandEvent &event);
+
+/**
+ * Observer that records the first `maxEvents` events as formatted trace
+ * lines (golden-trace regression tests, debugging dumps). A zero cap
+ * records everything.
+ */
+class CommandTraceRecorder : public CommandObserver
+{
+  public:
+    explicit CommandTraceRecorder(std::size_t maxEvents = 0)
+        : maxEvents_(maxEvents)
+    {
+    }
+
+    void
+    onCommand(const CommandEvent &event) override
+    {
+        if (maxEvents_ != 0 && lines_.size() >= maxEvents_)
+            return;
+        lines_.push_back(formatCommandEvent(event));
+    }
+
+    /** True once the cap is reached (the run can stop early). */
+    bool full() const
+    {
+        return maxEvents_ != 0 && lines_.size() >= maxEvents_;
+    }
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+    /** All recorded lines joined with '\n' (plus a trailing newline). */
+    std::string text() const;
+
+  private:
+    std::size_t maxEvents_;
+    std::vector<std::string> lines_;
+};
+
+} // namespace tcm::dram

@@ -15,7 +15,7 @@ MemoryController::MemoryController(ChannelId id,
       timing_(&timing),
       params_(params),
       sched_(&sched),
-      channel_(timing),
+      channel_(timing, id),
       queue_(params.readQueueCap, params.writeQueueCap)
 {
     // Stagger per-rank refreshes across the tREFI window, as real

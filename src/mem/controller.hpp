@@ -129,6 +129,17 @@ class MemoryController : public QueueAccess
 
     const dram::Channel &channel() const { return channel_; }
 
+    /**
+     * Attach a passive observer to this controller's command stream
+     * (protocol auditing, trace dumping). Must be called before traffic
+     * flows; observers outlive the controller.
+     */
+    void
+    addCommandObserver(dram::CommandObserver *observer)
+    {
+        channel_.addObserver(observer);
+    }
+
     /** Number of queued + in-flight reads (tests/backpressure checks). */
     std::size_t readLoad() const { return queue_.readLoad(); }
     std::size_t writeLoad() const { return queue_.writeLoad(); }

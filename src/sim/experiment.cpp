@@ -37,6 +37,11 @@ runWorkload(const SystemConfig &config,
     }
     result.metrics =
         metrics::computeMetrics(result.ipcAlone, result.ipcShared);
+    if (dram::ProtocolChecker *checker = sim.protocolChecker()) {
+        checker->finalize(sim.now());
+        result.protocolViolations = checker->violationCount();
+        result.protocolReport = checker->report();
+    }
     return result;
 }
 

@@ -43,6 +43,14 @@ struct RunResult
     std::vector<double> ipcShared;
     std::vector<double> ipcAlone;
     metrics::WorkloadMetrics metrics;
+
+    /**
+     * DDR2 protocol-audit verdict, populated only when the run's
+     * SystemConfig had protocolCheck set: total violation count and the
+     * checker's human-readable report (empty when clean).
+     */
+    std::uint64_t protocolViolations = 0;
+    std::string protocolReport;
 };
 
 /**

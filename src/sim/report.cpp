@@ -73,6 +73,15 @@ SystemReport::collect(const Simulator &sim,
                 .averageMw(report.measuredCycles);
         report.channels.push_back(cr);
     }
+
+    if (const dram::ProtocolChecker *checker = sim.protocolChecker()) {
+        report.protocol.audited = true;
+        report.protocol.commandsAudited = checker->eventsAudited();
+        report.protocol.violations = checker->violationCount();
+        report.protocol.byConstraint = checker->counters().nonZero();
+        for (const dram::Violation &v : checker->violations())
+            report.protocol.details.push_back(v.message);
+    }
     return report;
 }
 
@@ -107,6 +116,18 @@ SystemReport::print(std::FILE *out) const
                      static_cast<unsigned long long>(c.refreshes),
                      100.0 * c.rowHitRate, 100.0 * c.bankUtilization,
                      c.averagePowerMw);
+    }
+    if (protocol.audited) {
+        std::fprintf(out,
+                     "protocol audit: %llu violation(s) in %llu commands\n",
+                     static_cast<unsigned long long>(protocol.violations),
+                     static_cast<unsigned long long>(
+                         protocol.commandsAudited));
+        for (const auto &[name, count] : protocol.byConstraint)
+            std::fprintf(out, "  %-16s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(count));
+        for (const std::string &line : protocol.details)
+            std::fprintf(out, "  %s\n", line.c_str());
     }
 }
 

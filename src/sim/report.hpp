@@ -6,8 +6,10 @@
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -44,6 +46,21 @@ struct ChannelReport
     double averagePowerMw = 0.0;
 };
 
+/**
+ * DDR2 protocol-audit section of a report, filled in when the simulator
+ * ran with SystemConfig::protocolCheck (all zeros/empty otherwise).
+ */
+struct ProtocolAuditReport
+{
+    bool audited = false;
+    std::uint64_t commandsAudited = 0;
+    std::uint64_t violations = 0;
+    /** Per-constraint (name, count) tallies, non-zero entries only. */
+    std::vector<std::pair<std::string, std::uint64_t>> byConstraint;
+    /** Detailed one-line reports for the first recorded violations. */
+    std::vector<std::string> details;
+};
+
 /** Everything a post-run analysis needs, in one value type. */
 struct SystemReport
 {
@@ -51,6 +68,7 @@ struct SystemReport
     std::string scheduler;
     std::vector<ThreadReport> threads;
     std::vector<ChannelReport> channels;
+    ProtocolAuditReport protocol;
 
     /**
      * Gather a report from a finished simulation. @p threadNames

@@ -76,11 +76,18 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
     if (anyWeight)
         active->setThreadWeights(weights);
 
+    if (config_.protocolCheck)
+        checker_ = std::make_unique<dram::ProtocolChecker>(config_.timing);
+
     controllers_.reserve(config_.numChannels);
     for (ChannelId ch = 0; ch < config_.numChannels; ++ch) {
         controllers_.push_back(std::make_unique<mem::MemoryController>(
             ch, config_.timing, config_.controller, *active));
         active->attachQueue(ch, controllers_.back().get());
+        if (checker_) {
+            controllers_.back()->addCommandObserver(checker_.get());
+            checker_->observeChannel(ch);
+        }
     }
 
     std::vector<mem::MemoryController *> mcs;
@@ -98,6 +105,13 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
 }
 
 Simulator::~Simulator() = default;
+
+void
+Simulator::attachCommandObserver(dram::CommandObserver *observer)
+{
+    for (auto &mc : controllers_)
+        mc->addCommandObserver(observer);
+}
 
 void
 Simulator::step(Cycle cycles)

@@ -11,6 +11,7 @@
 
 #include "core/core.hpp"
 #include "dram/energy.hpp"
+#include "dram/protocol_checker.hpp"
 #include "mem/controller.hpp"
 #include "sched/factory.hpp"
 #include "sched/tcm/monitor.hpp"
@@ -185,6 +186,25 @@ class Simulator
     bool hasProbe() const { return probe_ != nullptr; }
     const std::vector<mem::CoreCounters> &counters() const { return counters_; }
 
+    /**
+     * Attach a passive command observer to every controller (trace
+     * recording, extra auditing). Call before stepping the simulation;
+     * the observer must outlive the Simulator.
+     */
+    void attachCommandObserver(dram::CommandObserver *observer);
+
+    /**
+     * The protocol auditor, present when SystemConfig::protocolCheck was
+     * set. Call its finalize(now()) once the run is over, then read the
+     * verdict.
+     */
+    dram::ProtocolChecker *protocolChecker() { return checker_.get(); }
+    const dram::ProtocolChecker *
+    protocolChecker() const
+    {
+        return checker_.get();
+    }
+
   private:
     /** Shared construction tail once traces exist. */
     void init(std::vector<std::unique_ptr<core::TraceSource>> traces,
@@ -194,6 +214,7 @@ class Simulator
     SystemConfig config_;
     std::unique_ptr<mem::SchedulerPolicy> policy_;
     std::unique_ptr<ProbePolicy> probe_;
+    std::unique_ptr<dram::ProtocolChecker> checker_;
     std::vector<std::unique_ptr<core::TraceSource>> traces_;
     std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
     std::vector<std::unique_ptr<core::Core>> cores_;

@@ -33,6 +33,15 @@ struct SystemConfig
      */
     double mpkiScale = 1.0;
 
+    /**
+     * Attach an independent dram::ProtocolChecker to every channel: the
+     * full command stream is audited against the DDR2 constraints,
+     * re-derived from the trace alone (see Simulator::protocolChecker()
+     * for the verdict). Off by default — auditing is opt-in so the fast
+     * path stays observer-free.
+     */
+    bool protocolCheck = false;
+
     /** Geometry handed to the trace generator. */
     workload::Geometry geometry() const;
 };

@@ -12,9 +12,16 @@
  * why in the commit.
  */
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "dram/observer.hpp"
 #include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
 #include "workload/mixes.hpp"
 
 using namespace tcm;
@@ -74,3 +81,57 @@ INSTANTIATE_TEST_SUITE_P(Recorded, GoldenWorkloadA,
                              Golden{sched::Algo::Atlas, 13.74, 14.18},
                              Golden{sched::Algo::Tcm, 12.88, 6.48}),
                          goldenName);
+
+// ---------------------------------------------------------------------------
+// Golden command trace: the exact DRAM command stream of a tiny
+// deterministic run, diffed command-for-command. Where the metric bands
+// above allow +/-15% drift, this catches any change at all in command
+// selection or timing — one cycle of difference in one ACT fails the
+// test. When a deliberate change moves the stream, regenerate with
+//   TCMSIM_REGOLD=1 ctest -R test_golden
+// and explain the change in the commit.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenCommandTrace, FrFcfsCommandStreamIsBitStable)
+{
+    constexpr std::size_t kEvents = 400;
+
+    sim::SystemConfig config;
+    config.numCores = 2;
+    config.numChannels = 1;
+    auto mix = workload::randomMix(config.numCores, 1.0, /*seed=*/99);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
+    spec.scaleToRun(30'000);
+
+    sim::Simulator sim(config, mix, spec, /*seed=*/99);
+    dram::CommandTraceRecorder recorder(kEvents);
+    sim.attachCommandObserver(&recorder);
+    sim.step(30'000);
+    ASSERT_TRUE(recorder.full())
+        << "run produced only " << recorder.lines().size() << " of "
+        << kEvents << " trace events";
+
+    const std::string path =
+        std::string(TCMSIM_GOLDEN_DIR) + "/cmd_trace_frfcfs_seed99.txt";
+
+    if (std::getenv("TCMSIM_REGOLD") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << recorder.text();
+        GTEST_SKIP() << "golden trace regenerated at " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run once with TCMSIM_REGOLD=1 to record it)";
+    std::vector<std::string> expected;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            expected.push_back(line);
+
+    const std::vector<std::string> &actual = recorder.lines();
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        ASSERT_EQ(expected[i], actual[i])
+            << "command stream diverges at event #" << i;
+}

@@ -14,6 +14,7 @@
 #include "mem/latency_tracker.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
+#include "stats/counters.hpp"
 #include "stats/histogram.hpp"
 #include "workload/benchmark_table.hpp"
 #include "workload/mixes.hpp"
@@ -244,4 +245,72 @@ TEST(Report, StarvedThreadShowsTailBlowup)
     sim.run(20'000, 150'000);
     sim::SystemReport r = sim::SystemReport::collect(sim);
     EXPECT_GT(r.threads[0].latencyP99, 2.0 * r.threads[1].latencyP99);
+}
+
+// ---------------------------------------------------------------------------
+// NamedCounters
+// ---------------------------------------------------------------------------
+
+TEST(NamedCounters, BumpTotalAndSnapshots)
+{
+    stats::NamedCounters c({"alpha", "beta", "gamma"});
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_TRUE(c.nonZero().empty());
+
+    c.bump(1);
+    c.bump(2, 5);
+    EXPECT_EQ(c.count(0), 0u);
+    EXPECT_EQ(c.count(1), 1u);
+    EXPECT_EQ(c.count(2), 5u);
+    EXPECT_EQ(c.total(), 6u);
+
+    auto snap = c.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[0].second, 0u);
+    EXPECT_EQ(snap[2].second, 5u);
+
+    auto nz = c.nonZero();
+    ASSERT_EQ(nz.size(), 2u);
+    EXPECT_EQ(nz[0].first, "beta");
+    EXPECT_EQ(nz[1].first, "gamma");
+
+    c.reset();
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.count(2), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol audit section of the system report
+// ---------------------------------------------------------------------------
+
+TEST(Report, ProtocolAuditSectionAppearsWhenEnabled)
+{
+    sim::SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.numChannels = 1;
+    cfg.protocolCheck = true;
+    auto mix = workload::randomMix(cfg.numCores, 1.0, 21);
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 21);
+    sim.run(10'000, 40'000);
+    ASSERT_NE(sim.protocolChecker(), nullptr);
+
+    sim::SystemReport r = sim::SystemReport::collect(sim);
+    EXPECT_TRUE(r.protocol.audited);
+    EXPECT_GT(r.protocol.commandsAudited, 0u);
+    EXPECT_EQ(r.protocol.violations, 0u);
+}
+
+TEST(Report, ProtocolAuditSectionAbsentByDefault)
+{
+    sim::SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.numChannels = 1;
+    auto mix = workload::randomMix(cfg.numCores, 1.0, 21);
+    sim::Simulator sim(cfg, mix, sched::SchedulerSpec::frfcfs(), 21);
+    sim.run(10'000, 20'000);
+    EXPECT_EQ(sim.protocolChecker(), nullptr);
+    sim::SystemReport r = sim::SystemReport::collect(sim);
+    EXPECT_FALSE(r.protocol.audited);
 }

@@ -19,6 +19,9 @@
  *     --seed N            base seed (default 1)
  *     --jobs N            worker threads (default: TCMSIM_JOBS, else all
  *                         hardware threads; 1 = serial)
+ *     --check             attach the independent DDR2 protocol checker
+ *                         to every run; prints an audit summary to
+ *                         stderr and exits 1 on any violation
  *
  * Columns: scheduler,intensity,workload,seed,ws,ms,hs
  * Row order and values are independent of --jobs: runs are independently
@@ -93,6 +96,7 @@ main(int argc, char **argv)
     Cycle warmup = 50'000;
     std::uint64_t seed = 1;
     int jobs = 0;
+    bool check = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -121,6 +125,8 @@ main(int argc, char **argv)
             seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--jobs")
             jobs = std::atoi(value());
+        else if (arg == "--check")
+            check = true;
         else
             die("unknown option");
     }
@@ -128,6 +134,7 @@ main(int argc, char **argv)
     sim::SystemConfig config;
     config.numCores = cores;
     config.numChannels = channels;
+    config.protocolCheck = check;
     sim::ExperimentScale scale;
     scale.measure = cycles;
     scale.warmup = warmup;
@@ -153,6 +160,8 @@ main(int argc, char **argv)
     }
 
     std::printf("scheduler,intensity,workload,seed,ws,ms,hs\n");
+    std::uint64_t violations = 0;
+    std::uint64_t auditedRuns = 0;
     for (std::size_t s = 0; s < specs.size(); ++s) {
         for (std::size_t i = 0; i < intensities.size(); ++i) {
             const auto &runs = byIntensity[i][s];
@@ -164,8 +173,28 @@ main(int argc, char **argv)
                             r.metrics.weightedSpeedup,
                             r.metrics.maxSlowdown,
                             r.metrics.harmonicSpeedup);
+                if (check) {
+                    ++auditedRuns;
+                    violations += r.protocolViolations;
+                    if (r.protocolViolations != 0)
+                        std::fprintf(stderr,
+                                     "sweep: %s intensity %.2f workload "
+                                     "%zu:\n%s",
+                                     schedulerNames[s].c_str(),
+                                     intensities[i], w,
+                                     r.protocolReport.c_str());
+                }
             }
         }
+    }
+    if (check) {
+        std::fprintf(stderr,
+                     "sweep: protocol audit: %llu violation(s) across "
+                     "%llu runs\n",
+                     static_cast<unsigned long long>(violations),
+                     static_cast<unsigned long long>(auditedRuns));
+        if (violations != 0)
+            return 1;
     }
     return 0;
 }
