@@ -99,6 +99,33 @@ BM_ProtocolCheckerOverhead(benchmark::State &state)
 BENCHMARK(BM_ProtocolCheckerOverhead)->Arg(0)->Arg(1);
 
 void
+BM_TelemetryOverhead(benchmark::State &state)
+{
+    // Full-system simulation speed with telemetry detached (Arg 0) vs
+    // fully attached (Arg 1: behaviour probe + interval sampler +
+    // decision trace + lifecycle sink). Detached, the hot loop's only
+    // telemetry artifact is one never-taken compare per cycle, so Arg 0
+    // must stay within noise of BM_SimulatorCyclesPerSecond.
+    const bool on = state.range(0) != 0;
+    sim::SystemConfig config;
+    config.numCores = 8;
+    config.numChannels = 1;
+    auto mix = workload::randomMix(config.numCores, 1.0, 7);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(1'000'000);
+    sim::Simulator sim(config, mix, spec, 1, on);
+    telemetry::TelemetrySink sink;
+    if (on)
+        sim.attachTelemetry(&sink);
+    sim.step(10'000); // warm structures
+
+    for (auto _ : state)
+        sim.step(10'000);
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
+
+void
 BM_MonitorHooks(benchmark::State &state)
 {
     sched::ThreadBankMonitor mon;

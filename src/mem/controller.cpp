@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/sink.hpp"
+
 namespace tcm::mem {
 
 using dram::CommandKind;
@@ -231,6 +233,10 @@ MemoryController::tryIssue(std::vector<Request> &candidates, Cycle now,
             req.thread, req.missId, res.dataEnd + timing_->mcToCpuDelay});
         latency_.record(req.thread,
                         res.dataEnd + timing_->mcToCpuDelay - req.issuedAt);
+        if (lifecycle_)
+            lifecycle_->recordLifecycle(
+                req.thread, now - req.arrivedAt,
+                res.dataEnd + timing_->mcToCpuDelay - now);
         queue_.removeRead(static_cast<std::size_t>(best));
         // Departure is stamped at the end of the data burst: a request
         // is "outstanding" (Table 2's load counters) until serviced, not

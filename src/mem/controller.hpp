@@ -16,6 +16,10 @@
 #include "mem/request_queue.hpp"
 #include "mem/sched_iface.hpp"
 
+namespace tcm::telemetry {
+class LifecycleSink;
+}
+
 namespace tcm::mem {
 
 /**
@@ -140,6 +144,18 @@ class MemoryController : public QueueAccess
         channel_.addObserver(observer);
     }
 
+    /**
+     * Attach a request-lifecycle sink (nullptr detaches): each serviced
+     * read reports its queueing delay (arrival to column command) and
+     * service time (column command to data at the core). Detached cost
+     * is one branch per read completion.
+     */
+    void
+    setLifecycleSink(telemetry::LifecycleSink *sink)
+    {
+        lifecycle_ = sink;
+    }
+
     /** Number of queued + in-flight reads (tests/backpressure checks). */
     std::size_t readLoad() const { return queue_.readLoad(); }
     std::size_t writeLoad() const { return queue_.writeLoad(); }
@@ -192,6 +208,7 @@ class MemoryController : public QueueAccess
     std::vector<Completion> completions_;
     ControllerStats stats_;
     LatencyTracker latency_;
+    telemetry::LifecycleSink *lifecycle_ = nullptr;
     bool drainingWrites_ = false;
     std::vector<Cycle> refreshDueAt_; //!< per rank, staggered
     Cycle nextTryAt_ = 0; //!< idle fast-path: no scan before this cycle

@@ -28,6 +28,10 @@
 #include "dram/command.hpp"
 #include "mem/request.hpp"
 
+namespace tcm::telemetry {
+class DecisionSink;
+}
+
 namespace tcm::mem {
 
 /** Per-core retired-instruction/miss counters a scheduler may consult. */
@@ -92,6 +96,19 @@ class SchedulerPolicy
      */
     virtual void setThreadWeights(const std::vector<int> & /*weights*/) {}
 
+    /**
+     * Attach a decision-trace sink (nullptr detaches). Schedulers with
+     * internal decision points (quantum boundaries, batch formation,
+     * rank updates) emit a DecisionEvent describing each one; policies
+     * without dynamic decisions ignore the sink. Detached cost is one
+     * branch per decision point — never per cycle or per request.
+     */
+    virtual void
+    setDecisionSink(telemetry::DecisionSink *sink)
+    {
+        decisionSink_ = sink;
+    }
+
     // -- observation hooks --------------------------------------------------
 
     /** A request became visible in a controller queue. */
@@ -137,6 +154,7 @@ class SchedulerPolicy
     int banksPerChannel_ = 0;
     std::vector<QueueAccess *> queues_;
     const std::vector<CoreCounters> *coreCounters_ = nullptr;
+    telemetry::DecisionSink *decisionSink_ = nullptr;
 };
 
 } // namespace tcm::mem

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/sink.hpp"
+
 namespace tcm::sched {
 
 Atlas::Atlas(const AtlasParams &params) : params_(params)
@@ -59,6 +61,18 @@ Atlas::tick(Cycle now)
     std::vector<int> pos = ascendingPositions(key);
     for (ThreadId t = 0; t < numThreads_; ++t)
         ranks_[t] = numThreads_ - 1 - pos[t];
+
+    if (decisionSink_) {
+        telemetry::DecisionEvent e;
+        e.cycle = now;
+        e.name = "atlas.rank";
+        e.category = "sched";
+        e.args = {
+            {"total_as", telemetry::jsonArray(totalAs_)},
+            {"ranks", telemetry::jsonArray(ranks_)},
+        };
+        decisionSink_->onDecision(std::move(e));
+    }
 }
 
 } // namespace tcm::sched

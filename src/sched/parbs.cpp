@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "telemetry/sink.hpp"
+
 namespace tcm::sched {
 
 ParBs::ParBs(const ParBsParams &params) : params_(params)
@@ -18,22 +20,33 @@ ParBs::configure(int numThreads, int numChannels, int banksPerChannel)
 }
 
 void
-ParBs::onDepart(const Request &req, Cycle)
+ParBs::onDepart(const Request &req, Cycle now)
 {
-    if (req.marked && !req.isWrite)
+    if (req.marked && !req.isWrite) {
         --markedRemaining_[req.channel];
+        if (markedRemaining_[req.channel] == 0 && decisionSink_) {
+            telemetry::DecisionEvent e;
+            e.cycle = now;
+            e.name = "parbs.batch_done";
+            e.category = "sched";
+            e.args = {{"channel", telemetry::jsonNumber(
+                                      static_cast<std::int64_t>(
+                                          req.channel))}};
+            decisionSink_->onDecision(std::move(e));
+        }
+    }
 }
 
 void
-ParBs::tick(Cycle)
+ParBs::tick(Cycle now)
 {
     for (ChannelId ch = 0; ch < numChannels_; ++ch)
         if (markedRemaining_[ch] == 0 && queues_[ch])
-            formBatch(ch);
+            formBatch(ch, now);
 }
 
 void
-ParBs::formBatch(ChannelId ch)
+ParBs::formBatch(ChannelId ch, Cycle now)
 {
     // Collect queued reads per (thread, bank).
     struct Slot
@@ -93,6 +106,21 @@ ParBs::formBatch(ChannelId ch)
     });
     for (int i = 0; i < numThreads_; ++i)
         ranks_[ch][order[i]] = numThreads_ - 1 - i; // lightest -> highest
+
+    if (decisionSink_) {
+        telemetry::DecisionEvent e;
+        e.cycle = now;
+        e.name = "parbs.batch";
+        e.category = "sched";
+        e.args = {
+            {"channel",
+             telemetry::jsonNumber(static_cast<std::int64_t>(ch))},
+            {"marked",
+             telemetry::jsonNumber(static_cast<std::int64_t>(marked))},
+            {"ranks", telemetry::jsonArray(ranks_[ch])},
+        };
+        decisionSink_->onDecision(std::move(e));
+    }
 }
 
 } // namespace tcm::sched

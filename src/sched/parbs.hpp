@@ -60,7 +60,7 @@ class ParBs : public SchedulerPolicy
     const ParBsParams &params() const { return params_; }
 
   private:
-    void formBatch(ChannelId ch);
+    void formBatch(ChannelId ch, Cycle now);
 
     ParBsParams params_;
     std::vector<int> markedRemaining_;        //!< per channel

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/sink.hpp"
+
 namespace tcm::sched {
 
 Stfm::Stfm(const StfmParams &params) : params_(params)
@@ -87,16 +89,18 @@ Stfm::slowdownEstimate(ThreadId t) const
 }
 
 void
-Stfm::updateRanks()
+Stfm::updateRanks(Cycle now)
 {
     // A thread with negligible memory stall time is, by definition, not
     // slowed down by memory: its slowdown is 1.0 and it anchors the
     // minimum. Only threads with meaningful stall can be victims.
     constexpr double kMinStall = 1000.0;
+    std::vector<double> slowdown(numThreads_, 1.0);
     double maxS = 1.0, minS = 1.0;
     ThreadId victim = kNoThread;
     for (ThreadId t = 0; t < numThreads_; ++t) {
         double s = stShared_[t] < kMinStall ? 1.0 : slowdownEstimate(t);
+        slowdown[t] = s;
         if (s > maxS) {
             maxS = s;
             victim = t;
@@ -105,8 +109,25 @@ Stfm::updateRanks()
     }
 
     std::fill(ranks_.begin(), ranks_.end(), 0);
-    if (victim != kNoThread && maxS / minS > params_.fairnessThreshold) {
+    bool prioritized =
+        victim != kNoThread && maxS / minS > params_.fairnessThreshold;
+    if (prioritized) {
         ranks_[victim] = 1; // prioritize the most slowed-down thread
+    }
+
+    if (decisionSink_) {
+        telemetry::DecisionEvent e;
+        e.cycle = now;
+        e.name = "stfm.update";
+        e.category = "sched";
+        e.args = {
+            {"slowdown", telemetry::jsonArray(slowdown)},
+            {"unfairness", telemetry::jsonNumber(maxS / minS)},
+            {"victim",
+             telemetry::jsonNumber(static_cast<std::int64_t>(
+                 prioritized ? victim : kNoThread))},
+        };
+        decisionSink_->onDecision(std::move(e));
     }
 }
 
@@ -118,7 +139,7 @@ Stfm::tick(Cycle now)
             stShared_[t] += 1.0;
 
     if (now >= nextUpdateAt_) {
-        updateRanks();
+        updateRanks(now);
         nextUpdateAt_ = now + params_.updatePeriod;
     }
     if (now >= nextIntervalAt_) {

@@ -68,7 +68,7 @@ class Stfm : public SchedulerPolicy
     const StfmParams &params() const { return params_; }
 
   private:
-    void updateRanks();
+    void updateRanks(Cycle now);
 
     StfmParams params_;
     ThreadBankMonitor monitor_; //!< global-bank loads + shadow rows

@@ -95,6 +95,7 @@ ThreadBankMonitor::snapshot(Cycle now) const
     s.blp.resize(numThreads_);
     s.rbl.resize(numThreads_);
     s.accesses.resize(numThreads_);
+    s.shadowHits.resize(numThreads_);
     s.serviceCycles.resize(numThreads_);
     for (ThreadId t = 0; t < numThreads_; ++t) {
         integrate(t, now);
@@ -104,6 +105,7 @@ ThreadBankMonitor::snapshot(Cycle now) const
                        ? static_cast<double>(shadowHits_[t]) / accesses_[t]
                        : 0.0;
         s.accesses[t] = accesses_[t];
+        s.shadowHits[t] = shadowHits_[t];
         s.serviceCycles[t] = serviceCycles_[t];
     }
     return s;

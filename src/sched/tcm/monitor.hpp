@@ -37,6 +37,7 @@ class ThreadBankMonitor
         std::vector<double> blp;          //!< time-avg banks with load
         std::vector<double> rbl;          //!< shadow row-buffer hit rate
         std::vector<std::uint64_t> accesses;      //!< reads observed
+        std::vector<std::uint64_t> shadowHits;    //!< shadow row hits
         std::vector<std::uint64_t> serviceCycles; //!< bank-busy cycles
     };
 

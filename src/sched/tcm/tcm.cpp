@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sched/tcm/niceness.hpp"
+#include "telemetry/sink.hpp"
 
 namespace tcm::sched {
 
@@ -148,6 +149,24 @@ Tcm::quantumBoundary(Cycle now)
     }
     rebuildRanks();
 
+    if (decisionSink_) {
+        telemetry::DecisionEvent e;
+        e.cycle = now;
+        e.name = "tcm.quantum";
+        e.category = "sched";
+        e.args = {
+            {"latency_cluster", telemetry::jsonArray(cluster_.latency)},
+            {"bandwidth_cluster", telemetry::jsonArray(cluster_.bandwidth)},
+            {"mpki", telemetry::jsonArray(mpki_)},
+            {"niceness", telemetry::jsonArray(niceness_)},
+            {"shuffle_mode",
+             telemetry::jsonString(shuffleModeName(mode))},
+            {"cluster_thresh", telemetry::jsonNumber(thresh)},
+            {"ranks", telemetry::jsonArray(ranks_)},
+        };
+        decisionSink_->onDecision(std::move(e));
+    }
+
     nextQuantumAt_ = now + params_.quantum;
     nextShuffleAt_ = now + params_.shuffleInterval;
 }
@@ -185,6 +204,17 @@ Tcm::tick(Cycle now)
         if (shuffle_ && shuffle_->order().size() > 1) {
             shuffle_->step();
             rebuildRanks();
+            if (decisionSink_) {
+                telemetry::DecisionEvent e;
+                e.cycle = now;
+                e.name = "tcm.shuffle";
+                e.category = "sched";
+                e.args = {
+                    {"order", telemetry::jsonArray(shuffle_->order())},
+                    {"ranks", telemetry::jsonArray(ranks_)},
+                };
+                decisionSink_->onDecision(std::move(e));
+            }
         }
         nextShuffleAt_ += params_.shuffleInterval;
     }

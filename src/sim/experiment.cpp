@@ -25,7 +25,19 @@ runWorkload(const SystemConfig &config,
 {
     spec.scaleToRun(scale.measure);
 
-    Simulator sim(config, mix, spec, seed);
+    const telemetry::TelemetryConfig &tcfg = config.telemetry;
+    const bool enableProbe = tcfg.enabled && tcfg.probeBehavior;
+    Simulator sim(config, mix, spec, seed, enableProbe);
+
+    std::shared_ptr<telemetry::TelemetrySink> sink;
+    if (tcfg.enabled) {
+        sink = std::make_shared<telemetry::TelemetrySink>(tcfg);
+        telemetry::TelemetrySink::Meta meta;
+        meta.seed = seed;
+        sink->setMeta(std::move(meta)); // attachTelemetry fills the rest
+        sim.attachTelemetry(sink.get());
+    }
+
     sim.run(scale.warmup, scale.measure);
 
     RunResult result;
@@ -41,6 +53,18 @@ runWorkload(const SystemConfig &config,
         checker->finalize(sim.now());
         result.protocolViolations = checker->violationCount();
         result.protocolReport = checker->report();
+    }
+    if (sink) {
+        if (!tcfg.dir.empty()) {
+            // Deterministic name: parallel sweeps write the same file
+            // set at any thread count.
+            std::string base = tcfg.dir + "/" + tcfg.filePrefix +
+                               spec.name() + "_seed" +
+                               std::to_string(seed);
+            sink->writeJsonl(base + ".jsonl");
+            sink->writeChromeTrace(base + ".trace.json");
+        }
+        result.telemetry = std::move(sink);
     }
     return result;
 }

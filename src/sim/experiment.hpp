@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "sched/factory.hpp"
 #include "sim/alone_cache.hpp"
 #include "sim/system_config.hpp"
+#include "telemetry/sink.hpp"
 #include "workload/profile.hpp"
 
 namespace tcm::sim {
@@ -51,6 +53,14 @@ struct RunResult
      */
     std::uint64_t protocolViolations = 0;
     std::string protocolReport;
+
+    /**
+     * The run's telemetry sink, populated only when the run's
+     * SystemConfig had telemetry.enabled set. Shared so RunResult stays
+     * cheaply copyable; each run owns a distinct sink (the parallel
+     * runner never shares one across tasks).
+     */
+    std::shared_ptr<telemetry::TelemetrySink> telemetry;
 };
 
 /**

@@ -7,6 +7,26 @@
 
 namespace tcm::sim {
 
+namespace {
+
+/**
+ * Format a probe gauge: the measured value under @p fmt, or @p missing
+ * when the run had no behaviour probe ("n/a" in tables, an empty cell
+ * in CSV).
+ */
+std::string
+gaugeCell(bool probed, double v, const char *fmt,
+          const char *missing = "n/a")
+{
+    if (!probed)
+        return missing;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    return buf;
+}
+
+} // namespace
+
 SystemReport
 SystemReport::collect(const Simulator &sim,
                       const std::vector<std::string> &threadNames)
@@ -29,6 +49,7 @@ SystemReport::collect(const Simulator &sim,
         tr.mpki = b.mpki;
         tr.rbl = b.rbl;
         tr.blp = b.blp;
+        tr.behaviorProbed = b.probed;
 
         // Merge latency across channels (shared bucket ladder).
         stats::Histogram merged = sim.latency(0).threadHistogram(t);
@@ -86,6 +107,17 @@ SystemReport::collect(const Simulator &sim,
 }
 
 void
+SystemReport::addTelemetry(const telemetry::TelemetrySink &sink)
+{
+    telemetry.enabled = true;
+    telemetry.threadSamples = sink.threadSamples().size();
+    telemetry.channelSamples = sink.channelSamples().size();
+    telemetry.decisionEvents = sink.events().size();
+    telemetry.lifecycleRecords = sink.lifecycleRecords();
+    telemetry.droppedRecords = sink.droppedRecords();
+}
+
+void
 SystemReport::print(std::FILE *out) const
 {
     std::fprintf(out,
@@ -98,9 +130,11 @@ SystemReport::print(std::FILE *out) const
                  "lat.mean", "lat.p50", "lat.p99", "lat.max");
     for (const ThreadReport &t : threads) {
         std::fprintf(out,
-                     "%-4d %-12s %7.3f %8.2f %6.3f %6.2f %9llu | %9.0f "
+                     "%-4d %-12s %7.3f %8.2f %6s %6s %9llu | %9.0f "
                      "%9.0f %9.0f %9.0f\n",
-                     t.id, t.name.c_str(), t.ipc, t.mpki, t.rbl, t.blp,
+                     t.id, t.name.c_str(), t.ipc, t.mpki,
+                     gaugeCell(t.behaviorProbed, t.rbl, "%.3f").c_str(),
+                     gaugeCell(t.behaviorProbed, t.blp, "%.2f").c_str(),
                      static_cast<unsigned long long>(t.reads),
                      t.latencyMean, t.latencyP50, t.latencyP99,
                      t.latencyMax);
@@ -129,6 +163,17 @@ SystemReport::print(std::FILE *out) const
         for (const std::string &line : protocol.details)
             std::fprintf(out, "  %s\n", line.c_str());
     }
+    if (telemetry.enabled) {
+        std::fprintf(
+            out,
+            "telemetry: %llu thread + %llu channel samples, "
+            "%llu events, %llu lifecycle records, %llu dropped\n",
+            static_cast<unsigned long long>(telemetry.threadSamples),
+            static_cast<unsigned long long>(telemetry.channelSamples),
+            static_cast<unsigned long long>(telemetry.decisionEvents),
+            static_cast<unsigned long long>(telemetry.lifecycleRecords),
+            static_cast<unsigned long long>(telemetry.droppedRecords));
+    }
 }
 
 void
@@ -142,9 +187,14 @@ SystemReport::writeCsv(const std::string &prefix) const
         std::fprintf(f, "id,name,ipc,mpki,rbl,blp,reads,lat_mean,lat_p50,"
                         "lat_p99,lat_max\n");
         for (const ThreadReport &t : threads)
-            std::fprintf(f, "%d,%s,%.6f,%.4f,%.4f,%.4f,%llu,%.1f,%.1f,"
+            // Unprobed rbl/blp become empty CSV cells, not 0.
+            std::fprintf(f, "%d,%s,%.6f,%.4f,%s,%s,%llu,%.1f,%.1f,"
                             "%.1f,%.1f\n",
-                         t.id, t.name.c_str(), t.ipc, t.mpki, t.rbl, t.blp,
+                         t.id, t.name.c_str(), t.ipc, t.mpki,
+                         gaugeCell(t.behaviorProbed, t.rbl, "%.4f", "")
+                             .c_str(),
+                         gaugeCell(t.behaviorProbed, t.blp, "%.4f", "")
+                             .c_str(),
                          static_cast<unsigned long long>(t.reads),
                          t.latencyMean, t.latencyP50, t.latencyP99,
                          t.latencyMax);

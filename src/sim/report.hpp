@@ -24,8 +24,15 @@ struct ThreadReport
     std::string name;
     double ipc = 0.0;
     double mpki = 0.0;
-    double rbl = 0.0; //!< 0 unless the simulator ran with a probe
-    double blp = 0.0; //!< 0 unless the simulator ran with a probe
+    double rbl = 0.0; //!< meaningless unless behaviorProbed
+    double blp = 0.0; //!< meaningless unless behaviorProbed
+    /**
+     * True when rbl/blp were actually measured (the simulator ran with
+     * the behaviour probe). When false the tables render "n/a" and the
+     * CSV cells are left empty — a probe-less run must never be read as
+     * "this thread had zero row-buffer locality".
+     */
+    bool behaviorProbed = false;
     std::uint64_t reads = 0;
     double latencyMean = 0.0;
     double latencyP50 = 0.0;
@@ -44,6 +51,21 @@ struct ChannelReport
     double rowHitRate = 0.0;
     double bankUtilization = 0.0; //!< busy cycles / (banks x cycles)
     double averagePowerMw = 0.0;
+};
+
+/**
+ * Telemetry section of a report: what the run's TelemetrySink recorded
+ * (volume, not content — the content lives in the JSONL/trace files).
+ * Filled by SystemReport::addTelemetry.
+ */
+struct TelemetryReport
+{
+    bool enabled = false;
+    std::uint64_t threadSamples = 0;
+    std::uint64_t channelSamples = 0;
+    std::uint64_t decisionEvents = 0;
+    std::uint64_t lifecycleRecords = 0;
+    std::uint64_t droppedRecords = 0; //!< evicted by ring capacity
 };
 
 /**
@@ -69,6 +91,7 @@ struct SystemReport
     std::vector<ThreadReport> threads;
     std::vector<ChannelReport> channels;
     ProtocolAuditReport protocol;
+    TelemetryReport telemetry;
 
     /**
      * Gather a report from a finished simulation. @p threadNames
@@ -77,6 +100,9 @@ struct SystemReport
     static SystemReport collect(const Simulator &sim,
                                 const std::vector<std::string> &threadNames
                                 = {});
+
+    /** Fill the telemetry section from a run's sink. */
+    void addTelemetry(const telemetry::TelemetrySink &sink);
 
     /** Human-readable tables. */
     void print(std::FILE *out) const;

@@ -114,6 +114,85 @@ Simulator::attachCommandObserver(dram::CommandObserver *observer)
 }
 
 void
+Simulator::attachTelemetry(telemetry::TelemetrySink *sink)
+{
+    telemetry_ = sink;
+    const telemetry::TelemetryConfig &cfg = sink->config();
+
+    telemetry::TelemetrySink::Meta meta = sink->meta();
+    meta.scheduler = policy_->name();
+    meta.numThreads = numThreads();
+    meta.numChannels = config_.numChannels;
+    meta.sampleInterval = cfg.sampleInterval;
+    sink->setMeta(std::move(meta));
+
+    // Decisions come from the real policy (the probe wrapper only
+    // forwards hooks; it makes no decisions of its own).
+    if (cfg.traceDecisions)
+        policy_->setDecisionSink(sink);
+
+    if (cfg.traceLifecycle)
+        for (auto &mc : controllers_)
+            mc->setLifecycleSink(sink);
+
+    if (cfg.sampleInterval > 0) {
+        sampler_ = std::make_unique<telemetry::IntervalSampler>(
+            numThreads(), config_.numChannels, config_.timing.tCK,
+            config_.timing.tBURST);
+        sampler_->rebase(now_, threadGauges(), channelGauges());
+        telemetrySampleAt_ = now_ + cfg.sampleInterval;
+    }
+}
+
+std::vector<telemetry::ThreadGauges>
+Simulator::threadGauges()
+{
+    std::vector<telemetry::ThreadGauges> gauges(cores_.size());
+    sched::ThreadBankMonitor::Snapshot snap;
+    if (probe_)
+        snap = probe_->monitor().snapshot(now_);
+    for (std::size_t t = 0; t < gauges.size(); ++t) {
+        telemetry::ThreadGauges &g = gauges[t];
+        g.instructions = counters_[t].instructions;
+        g.readMisses = counters_[t].readMisses;
+        if (probe_) {
+            ThreadId tid = static_cast<ThreadId>(t);
+            g.hasBehavior = true;
+            g.shadowHits = snap.shadowHits[t];
+            g.accesses = snap.accesses[t];
+            g.banksWithLoad = probe_->monitor().banksWithLoad(tid);
+            g.outstanding = probe_->monitor().outstanding(tid);
+        }
+    }
+    return gauges;
+}
+
+std::vector<telemetry::ChannelGauges>
+Simulator::channelGauges() const
+{
+    std::vector<telemetry::ChannelGauges> gauges(controllers_.size());
+    for (std::size_t ch = 0; ch < gauges.size(); ++ch) {
+        const mem::ControllerStats &s = controllers_[ch]->stats();
+        telemetry::ChannelGauges &g = gauges[ch];
+        g.commands = s.activates + s.precharges + s.readsServiced +
+                     s.writesServiced + s.refreshes;
+        g.columns = s.readsServiced + s.writesServiced;
+        g.rowHits = s.rowHits;
+        g.readQueue = static_cast<std::uint32_t>(controllers_[ch]->readLoad());
+        g.writeQueue =
+            static_cast<std::uint32_t>(controllers_[ch]->writeLoad());
+    }
+    return gauges;
+}
+
+void
+Simulator::sampleTelemetry()
+{
+    sampler_->sample(now_, threadGauges(), channelGauges(), *telemetry_);
+    telemetrySampleAt_ = now_ + telemetry_->config().sampleInterval;
+}
+
+void
 Simulator::step(Cycle cycles)
 {
     mem::SchedulerPolicy *active = probe_ ? static_cast<mem::SchedulerPolicy *>(
@@ -133,6 +212,8 @@ Simulator::step(Cycle cycles)
         }
         for (auto &core : cores_)
             core->tick(now_);
+        if (now_ >= telemetrySampleAt_)
+            sampleTelemetry();
     }
 }
 
@@ -148,6 +229,12 @@ Simulator::beginMeasurement()
         mc->resetStats();
     if (probe_)
         probe_->resetProbe(now_);
+    // Controller/probe counters just rewound; rebase the sampler so the
+    // next interval differentiates against the reset values.
+    if (sampler_) {
+        sampler_->rebase(now_, threadGauges(), channelGauges());
+        telemetrySampleAt_ = now_ + telemetry_->config().sampleInterval;
+    }
 }
 
 void
@@ -182,6 +269,7 @@ Simulator::behavior(ThreadId t) const
         auto s = probe_->monitor().snapshot(now_);
         b.blp = s.blp[t];
         b.rbl = s.rbl[t];
+        b.probed = true;
     }
     return b;
 }

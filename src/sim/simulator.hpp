@@ -16,6 +16,7 @@
 #include "sched/factory.hpp"
 #include "sched/tcm/monitor.hpp"
 #include "sim/system_config.hpp"
+#include "telemetry/sampler.hpp"
 #include "workload/profile.hpp"
 #include "workload/synthetic_trace.hpp"
 
@@ -118,9 +119,10 @@ class Simulator
     struct BehaviorStats
     {
         double mpki = 0.0;
-        double rbl = 0.0;
-        double blp = 0.0;
+        double rbl = 0.0; //!< meaningless unless probed
+        double blp = 0.0; //!< meaningless unless probed
         double ipc = 0.0;
+        bool probed = false; //!< rbl/blp were actually measured
     };
 
     /**
@@ -194,6 +196,19 @@ class Simulator
     void attachCommandObserver(dram::CommandObserver *observer);
 
     /**
+     * Attach an in-run telemetry sink. The sink's TelemetryConfig
+     * selects what flows into it: scheduler-decision events, per-read
+     * lifecycle breakdowns, and the interval sampler (armed from the
+     * current cycle). Purely observational — simulation results are
+     * bit-identical with or without a sink. The sink must outlive the
+     * Simulator; call before stepping.
+     */
+    void attachTelemetry(telemetry::TelemetrySink *sink);
+
+    /** True when attachTelemetry was called. */
+    bool hasTelemetry() const { return telemetry_ != nullptr; }
+
+    /**
      * The protocol auditor, present when SystemConfig::protocolCheck was
      * set. Call its finalize(now()) once the run is over, then read the
      * verdict.
@@ -211,6 +226,14 @@ class Simulator
               const sched::SchedulerSpec &spec, std::uint64_t seed,
               bool enableProbe, const std::vector<int> &weights);
 
+    /** @{ Cumulative gauges snapshotted at telemetry sample points. */
+    std::vector<telemetry::ThreadGauges> threadGauges();
+    std::vector<telemetry::ChannelGauges> channelGauges() const;
+    /** @} */
+
+    /** Emit one interval sample and re-arm the sampling clock. */
+    void sampleTelemetry();
+
     SystemConfig config_;
     std::unique_ptr<mem::SchedulerPolicy> policy_;
     std::unique_ptr<ProbePolicy> probe_;
@@ -219,6 +242,10 @@ class Simulator
     std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
     std::vector<std::unique_ptr<core::Core>> cores_;
     std::vector<mem::CoreCounters> counters_;
+
+    telemetry::TelemetrySink *telemetry_ = nullptr;
+    std::unique_ptr<telemetry::IntervalSampler> sampler_;
+    Cycle telemetrySampleAt_ = kCycleNever;
 
     Cycle now_ = 0;
     Cycle measureStart_ = 0;

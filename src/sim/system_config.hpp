@@ -10,6 +10,7 @@
 #include "core/core.hpp"
 #include "dram/timing.hpp"
 #include "mem/controller.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/synthetic_trace.hpp"
 
 namespace tcm::sim {
@@ -41,6 +42,13 @@ struct SystemConfig
      * path stays observer-free.
      */
     bool protocolCheck = false;
+
+    /**
+     * In-run telemetry: interval time-series sampler, scheduler-decision
+     * trace, request-lifecycle breakdowns. Off by default — the fast
+     * path stays observer-free and results are bit-identical either way.
+     */
+    telemetry::TelemetryConfig telemetry;
 
     /** Geometry handed to the trace generator. */
     workload::Geometry geometry() const;

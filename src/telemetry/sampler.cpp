@@ -1,0 +1,91 @@
+#include "telemetry/sampler.hpp"
+
+#include <cassert>
+
+namespace tcm::telemetry {
+
+IntervalSampler::IntervalSampler(int numThreads, int numChannels,
+                                 Cycle tCK, Cycle tBurst)
+    : tCK_(tCK), tBurst_(tBurst)
+{
+    prevThreads_.resize(numThreads);
+    prevChannels_.resize(numChannels);
+}
+
+void
+IntervalSampler::rebase(Cycle now, const std::vector<ThreadGauges> &threads,
+                        const std::vector<ChannelGauges> &channels)
+{
+    assert(threads.size() == prevThreads_.size());
+    assert(channels.size() == prevChannels_.size());
+    lastSampleAt_ = now;
+    prevThreads_ = threads;
+    prevChannels_ = channels;
+}
+
+void
+IntervalSampler::sample(Cycle now, const std::vector<ThreadGauges> &threads,
+                        const std::vector<ChannelGauges> &channels,
+                        TelemetrySink &sink)
+{
+    assert(threads.size() == prevThreads_.size());
+    assert(channels.size() == prevChannels_.size());
+    if (now <= lastSampleAt_)
+        return;
+    const double dt = static_cast<double>(now - lastSampleAt_);
+
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        const ThreadGauges &cur = threads[t];
+        const ThreadGauges &prev = prevThreads_[t];
+        ThreadSample s;
+        s.cycle = now;
+        s.thread = static_cast<ThreadId>(t);
+
+        const std::uint64_t insts = cur.instructions - prev.instructions;
+        const std::uint64_t misses = cur.readMisses - prev.readMisses;
+        s.ipc = static_cast<double>(insts) / dt;
+        s.mpki = insts > 0 ? 1000.0 * static_cast<double>(misses) /
+                                 static_cast<double>(insts)
+                           : 0.0;
+
+        if (cur.hasBehavior) {
+            const std::uint64_t accesses = cur.accesses - prev.accesses;
+            const std::uint64_t hits = cur.shadowHits - prev.shadowHits;
+            // RBL over an idle interval is unknown, not zero.
+            s.rbl = accesses > 0 ? static_cast<double>(hits) /
+                                       static_cast<double>(accesses)
+                                 : kNoGauge;
+            s.blp = static_cast<double>(cur.banksWithLoad);
+            s.outstanding = static_cast<double>(cur.outstanding);
+        }
+        sink.addThreadSample(s);
+    }
+
+    for (std::size_t ch = 0; ch < channels.size(); ++ch) {
+        const ChannelGauges &cur = channels[ch];
+        const ChannelGauges &prev = prevChannels_[ch];
+        ChannelSample s;
+        s.cycle = now;
+        s.channel = static_cast<ChannelId>(ch);
+        s.readQueue = cur.readQueue;
+        s.writeQueue = cur.writeQueue;
+
+        const std::uint64_t commands = cur.commands - prev.commands;
+        const std::uint64_t columns = cur.columns - prev.columns;
+        const std::uint64_t rowHits = cur.rowHits - prev.rowHits;
+        s.rowHitRate = columns > 0 ? static_cast<double>(rowHits) /
+                                         static_cast<double>(columns)
+                                   : kNoGauge;
+        s.cmdBusUtil =
+            static_cast<double>(commands) * static_cast<double>(tCK_) / dt;
+        s.dataBusUtil = static_cast<double>(columns) *
+                        static_cast<double>(tBurst_) / dt;
+        sink.addChannelSample(s);
+    }
+
+    lastSampleAt_ = now;
+    prevThreads_ = threads;
+    prevChannels_ = channels;
+}
+
+} // namespace tcm::telemetry

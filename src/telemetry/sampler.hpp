@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Interval sampler: turns cumulative simulator gauges into per-interval
+ * time-series samples.
+ *
+ * The simulator supplies raw cumulative counters (and a few
+ * instantaneous gauges) at each sample point; the sampler owns the
+ * previous-sample state, differentiates, and pushes ThreadSample /
+ * ChannelSample rows into a TelemetrySink. Keeping the delta state here
+ * leaves the simulator's contribution to a sample at "copy counters
+ * into a struct" — no telemetry math on the sim side.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/sink.hpp"
+
+namespace tcm::telemetry {
+
+/** Cumulative / instantaneous per-thread gauges at one sample point. */
+struct ThreadGauges
+{
+    std::uint64_t instructions = 0; //!< cumulative retired instructions
+    std::uint64_t readMisses = 0;   //!< cumulative L2 read misses
+
+    /** Behaviour-probe gauges; false leaves rbl/blp/outstanding null. */
+    bool hasBehavior = false;
+    std::uint64_t shadowHits = 0;   //!< cumulative shadow row-buffer hits
+    std::uint64_t accesses = 0;     //!< cumulative monitored reads
+    int banksWithLoad = 0;          //!< instantaneous BLP
+    int outstanding = 0;            //!< instantaneous outstanding reads
+};
+
+/** Cumulative / instantaneous per-channel gauges at one sample point. */
+struct ChannelGauges
+{
+    std::uint64_t commands = 0;  //!< cumulative command-bus slots used
+    std::uint64_t columns = 0;   //!< cumulative RD+WR column commands
+    std::uint64_t rowHits = 0;   //!< cumulative row-buffer hits
+    std::uint32_t readQueue = 0; //!< instantaneous read-queue load
+    std::uint32_t writeQueue = 0; //!< instantaneous write-queue load
+};
+
+/**
+ * Differentiates gauge vectors between consecutive sample points. One
+ * instance per simulator; rebase() resets the baseline whenever the
+ * underlying counters do (attach time, measurement start).
+ */
+class IntervalSampler
+{
+  public:
+    /**
+     * @param tCK    command-bus occupancy of one command, in CPU cycles
+     * @param tBurst data-bus occupancy of one column access, in cycles
+     */
+    IntervalSampler(int numThreads, int numChannels, Cycle tCK,
+                    Cycle tBurst);
+
+    /**
+     * Reset the delta baseline to the given cumulative gauges without
+     * emitting samples. Call when counters were externally reset or the
+     * sampling clock is re-armed.
+     */
+    void rebase(Cycle now, const std::vector<ThreadGauges> &threads,
+                const std::vector<ChannelGauges> &channels);
+
+    /**
+     * Emit one sample row per thread and per channel for the interval
+     * [lastSample, now), then adopt @p threads / @p channels as the new
+     * baseline. A zero-length interval is ignored.
+     */
+    void sample(Cycle now, const std::vector<ThreadGauges> &threads,
+                const std::vector<ChannelGauges> &channels,
+                TelemetrySink &sink);
+
+  private:
+    Cycle tCK_;
+    Cycle tBurst_;
+    Cycle lastSampleAt_ = 0;
+    std::vector<ThreadGauges> prevThreads_;
+    std::vector<ChannelGauges> prevChannels_;
+};
+
+} // namespace tcm::telemetry

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Golden-file tests for the post-run report renderers: the printed
+ * tables and the CSV files of a fixed-seed run are diffed byte-for-byte
+ * against recorded copies in tests/data/. Formatting is part of the
+ * contract — scripts parse these files — so any change at all (a
+ * column, a width, a precision) fails here. When a deliberate change
+ * moves the output, regenerate with
+ *   TCMSIM_REGOLD=1 ctest -R test_report_golden
+ * and explain the change in the commit.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+
+namespace {
+
+/** The fixed run every golden in this file is recorded from. */
+sim::SystemReport
+goldenReport(bool enableProbe)
+{
+    sim::SystemConfig config;
+    config.numCores = 4;
+    config.numChannels = 2;
+    auto mix = workload::randomMix(config.numCores, 1.0, 11);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(50'000);
+    sim::Simulator sim(config, mix, spec, /*seed=*/7, enableProbe);
+    sim.run(5'000, 50'000);
+    return sim::SystemReport::collect(sim, {"lat0", "lat1", "bw0", "bw1"});
+}
+
+/** Render SystemReport::print into a string via a temp stream. */
+std::string
+printToString(const sim::SystemReport &report)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    report.print(f);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::rewind(f);
+    std::string text(static_cast<std::size_t>(size), '\0');
+    EXPECT_EQ(std::fread(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+    return text;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Compare @p actual against the golden at data/<name>; with
+ * TCMSIM_REGOLD set, rewrite the golden instead and skip.
+ */
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = std::string(TCMSIM_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("TCMSIM_REGOLD") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden report regenerated at " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run once with TCMSIM_REGOLD=1 to record it)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "report output drifted from " << path;
+}
+
+} // namespace
+
+TEST(ReportGolden, PrintedTablesAreBitStable)
+{
+    checkGolden("report_table_tcm_seed7.txt",
+                printToString(goldenReport(/*enableProbe=*/true)));
+}
+
+TEST(ReportGolden, CsvFilesAreBitStable)
+{
+    sim::SystemReport report = goldenReport(/*enableProbe=*/true);
+    std::string prefix = testing::TempDir() + "report_golden";
+    report.writeCsv(prefix);
+    // GTEST_SKIP inside the helper returns only from it, so one REGOLD
+    // run regenerates both files.
+    checkGolden("report_threads_tcm_seed7.csv",
+                readFile(prefix + "_threads.csv"));
+    checkGolden("report_channels_tcm_seed7.csv",
+                readFile(prefix + "_channels.csv"));
+}
+
+TEST(ReportGolden, ProbelessRunRendersNaNotZero)
+{
+    sim::SystemReport report = goldenReport(/*enableProbe=*/false);
+    for (const sim::ThreadReport &t : report.threads)
+        EXPECT_FALSE(t.behaviorProbed);
+
+    std::string table = printToString(report);
+    EXPECT_NE(table.find("n/a"), std::string::npos)
+        << "unprobed RBL/BLP must render n/a, not 0";
+
+    std::string prefix = testing::TempDir() + "report_na";
+    report.writeCsv(prefix);
+    std::string csv = readFile(prefix + "_threads.csv");
+    // Empty rbl and blp cells: ...,<mpki>,,,<reads>,...
+    EXPECT_NE(csv.find(",,,"), std::string::npos)
+        << "unprobed CSV gauges must be empty cells";
+
+    // And a probed run renders numbers, never the placeholder.
+    std::string probed = printToString(goldenReport(/*enableProbe=*/true));
+    EXPECT_EQ(probed.find("n/a"), std::string::npos);
+}

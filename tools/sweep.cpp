@@ -22,6 +22,11 @@
  *     --check             attach the independent DDR2 protocol checker
  *                         to every run; prints an audit summary to
  *                         stderr and exits 1 on any violation
+ *     --telemetry DIR     record in-run telemetry (interval samples,
+ *                         scheduler decisions, lifecycle latencies) and
+ *                         write DIR/i<intensity>_<scheduler>_seed<N>
+ *                         .jsonl + .trace.json per run (Perfetto-
+ *                         loadable); DIR is created if missing
  *
  * Columns: scheduler,intensity,workload,seed,ws,ms,hs
  * Row order and values are independent of --jobs: runs are independently
@@ -32,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -97,6 +103,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     int jobs = 0;
     bool check = false;
+    std::string telemetryDir;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -127,6 +134,8 @@ main(int argc, char **argv)
             jobs = std::atoi(value());
         else if (arg == "--check")
             check = true;
+        else if (arg == "--telemetry")
+            telemetryDir = value();
         else
             die("unknown option");
     }
@@ -135,6 +144,14 @@ main(int argc, char **argv)
     config.numCores = cores;
     config.numChannels = channels;
     config.protocolCheck = check;
+    if (!telemetryDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(telemetryDir, ec);
+        if (ec)
+            die("cannot create the --telemetry directory");
+        config.telemetry.enabled = true;
+        config.telemetry.dir = telemetryDir;
+    }
     sim::ExperimentScale scale;
     scale.measure = cycles;
     scale.warmup = warmup;
@@ -155,7 +172,15 @@ main(int argc, char **argv)
         auto set = workload::workloadSet(
             workloads, cores, intensity,
             seed + static_cast<std::uint64_t>(intensity * 1000));
-        byIntensity.push_back(sim::runMatrix(config, set, specs, scale,
+        // Workload w reuses seed + w at every intensity, so the file
+        // names need the intensity to stay distinct.
+        sim::SystemConfig runConfig = config;
+        if (runConfig.telemetry.enabled) {
+            char prefix[32];
+            std::snprintf(prefix, sizeof prefix, "i%.2f_", intensity);
+            runConfig.telemetry.filePrefix = prefix;
+        }
+        byIntensity.push_back(sim::runMatrix(runConfig, set, specs, scale,
                                              cache, seed, jobs));
     }
 
