@@ -36,16 +36,20 @@ evalConfig(const sim::SystemConfig &config, const sched::SchedulerSpec &spec,
 }
 
 void
-row(const char *label, const sim::AggregateResult &r)
+row(sim::results::ResultsDoc &doc, const char *series, const char *label,
+    const sim::AggregateResult &r)
 {
     std::printf("%-34s WS=%6.2f  MS=%6.2f\n", label,
                 r.weightedSpeedup.mean(), r.maxSlowdown.mean());
+    doc.setAt(series, label, "ws", r.weightedSpeedup.mean());
+    doc.setAt(series, label, "ms", r.maxSlowdown.mean());
 }
 
 /** Blocks that compare specs under ONE config share a cache and run as
  *  one parallel matrix; config-varying blocks use evalConfig per row. */
 void
-rows(const sim::SystemConfig &config,
+rows(sim::results::ResultsDoc &doc, const char *series,
+     const sim::SystemConfig &config,
      const std::vector<std::pair<const char *, sched::SchedulerSpec>> &specs,
      const sim::ExperimentScale &scale, std::uint64_t seed)
 {
@@ -58,22 +62,23 @@ rows(const sim::SystemConfig &config,
     auto aggs =
         sim::evaluateMatrix(config, workloads, list, scale, cache, seed);
     for (std::size_t i = 0; i < specs.size(); ++i)
-        row(specs[i].first, aggs[i]);
+        row(doc, series, specs[i].first, aggs[i]);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
     bench::printHeader("Substrate ablations (50%-intensity workloads)",
                        scale);
+    sim::results::ResultsDoc doc("ablations", scale);
 
     {
         std::printf("-- row-hit-first scheduling --\n");
         sim::SystemConfig config;
-        rows(config,
+        rows(doc, "row-hit-first", config,
              {{"FR-FCFS (row-hit first)", sched::SchedulerSpec::frfcfs()},
               {"FCFS (arrival order only)", sched::SchedulerSpec::fcfs()}},
              scale, 1);
@@ -82,10 +87,10 @@ main()
     {
         std::printf("\n-- refresh modelling --\n");
         sim::SystemConfig config;
-        row("refresh on (tREFI/tRFC)",
+        row(doc, "refresh", "refresh on (tREFI/tRFC)",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 2));
         config.timing.refreshEnabled = false;
-        row("refresh off",
+        row(doc, "refresh", "refresh off",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 2));
     }
 
@@ -97,7 +102,7 @@ main()
             config.controller.drainLowWatermark = hi / 3;
             char label[48];
             std::snprintf(label, sizeof(label), "drain at %d", hi);
-            row(label,
+            row(doc, "write-drain", label,
                 evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale,
                            3));
         }
@@ -106,20 +111,20 @@ main()
     {
         std::printf("\n-- page policy (TCM) --\n");
         sim::SystemConfig config;
-        row("open page (baseline)",
+        row(doc, "page-policy", "open page (baseline)",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 8));
         config.controller.pagePolicy = mem::PagePolicy::Closed;
-        row("smart closed page",
+        row(doc, "page-policy", "smart closed page",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 8));
     }
 
     {
         std::printf("\n-- DRAM generation (TCM) --\n");
         sim::SystemConfig config;
-        row("DDR2-800 (Table 3)",
+        row(doc, "dram-generation", "DDR2-800 (Table 3)",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 9));
         config.timing = dram::TimingParams::ddr3_1333();
-        row("DDR3-1333",
+        row(doc, "dram-generation", "DDR3-1333",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 9));
     }
 
@@ -128,17 +133,17 @@ main()
         sim::SystemConfig config;
         config.timing.banksPerChannel = 8;
         config.timing.ranksPerChannel = 1;
-        row("1 rank x 8 banks",
+        row(doc, "rank-organization", "1 rank x 8 banks",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 10));
         config.timing.ranksPerChannel = 2;
-        row("2 ranks x 4 banks",
+        row(doc, "rank-organization", "2 ranks x 4 banks",
             evalConfig(config, sched::SchedulerSpec::tcmSpec(), scale, 10));
     }
 
     {
         std::printf("\n-- extra baseline: fair queueing (FQM) --\n");
         sim::SystemConfig config;
-        rows(config,
+        rows(doc, "fqm", config,
              {{"FQM (bandwidth fairness)", sched::SchedulerSpec::fqmSpec()},
               {"TCM", sched::SchedulerSpec::tcmSpec()}},
              scale, 5);
@@ -162,7 +167,7 @@ main()
             labels.emplace_back(label);
             points.push_back({labels.back().c_str(), spec});
         }
-        rows(config, points, scale, 4);
+        rows(doc, "atlas-aging", config, points, scale, 4);
     }
 
     std::printf(
@@ -184,5 +189,6 @@ main()
         " * ATLAS's unfairness is a bandwidth-share problem, not a\n"
         "   request-age problem: tightening the aging valve bounds each\n"
         "   request's wait but barely moves maximum slowdown.\n");
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -16,7 +16,7 @@
 #include "workload/mixes.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -38,6 +38,7 @@ main()
                 workloads.size());
 
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    sim::results::ResultsDoc doc("fig1", scale);
     std::printf("%-10s %18s %15s\n", "scheduler", "weighted speedup",
                 "max slowdown");
     for (const auto &agg :
@@ -45,9 +46,12 @@ main()
                              scale, cache, /*baseSeed=*/1)) {
         std::printf("%-10s %18.2f %15.2f\n", agg.scheduler.c_str(),
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());
+        doc.set(agg.scheduler, "ws", agg.weightedSpeedup.mean());
+        doc.set(agg.scheduler, "ms", agg.maxSlowdown.mean());
     }
     std::printf("\npaper (Fig. 1, 96 workloads): FR-FCFS worst WS; PAR-BS "
                 "most fair;\nATLAS highest WS with ~55%% higher MS than "
                 "PAR-BS.\n");
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

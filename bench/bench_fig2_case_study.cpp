@@ -16,7 +16,7 @@
 #include "workload/mixes.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -28,6 +28,8 @@ main()
 
     std::vector<workload::ThreadProfile> mix = {
         workload::randomAccessThread(), workload::streamingThread()};
+
+    sim::results::ResultsDoc doc("fig2", scale);
 
     // Table 1: verify the two threads' measured behaviour (run alone).
     std::printf("Table 1 (measured alone, targets in parentheses):\n");
@@ -42,6 +44,10 @@ main()
         std::printf("%-15s %7.1f(%5.1f) %7.2f(%5.2f) %7.3f(%5.3f)\n",
                     profile.name.c_str(), b.mpki, profile.mpki, b.blp,
                     profile.blp, b.rbl, profile.rbl);
+        sim::results::Row &row = doc.row(profile.name);
+        row.set("mpki", b.mpki);
+        row.set("blp", b.blp);
+        row.set("rbl", b.rbl);
     }
 
     // Figure 2: slowdowns under the two strict prioritizations.
@@ -68,5 +74,15 @@ main()
                 st_first.metrics.slowdowns[0] > ra_first.metrics.slowdowns[1]
                     ? "yes"
                     : "NO (mismatch)");
+
+    doc.setAt("slowdown", "ra_first", "random_access",
+              ra_first.metrics.slowdowns[0]);
+    doc.setAt("slowdown", "ra_first", "streaming",
+              ra_first.metrics.slowdowns[1]);
+    doc.setAt("slowdown", "st_first", "random_access",
+              st_first.metrics.slowdowns[0]);
+    doc.setAt("slowdown", "st_first", "streaming",
+              st_first.metrics.slowdowns[1]);
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

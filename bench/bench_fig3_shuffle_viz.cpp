@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/random.hpp"
 #include "sched/tcm/shuffle.hpp"
 
@@ -19,7 +20,8 @@ using namespace tcm;
 using namespace tcm::sched;
 
 void
-show(const char *title, ShuffleMode mode, bool nicestAtTop)
+show(const char *title, ShuffleMode mode, bool nicestAtTop,
+     const char *series, sim::results::ResultsDoc &doc)
 {
     constexpr int kThreads = 4;
     constexpr int kSteps = 8; // one full insertion period (2N)
@@ -57,27 +59,35 @@ show(const char *title, ShuffleMode mode, bool nicestAtTop)
         std::printf("\n");
     }
     std::printf("  time at top priority: ");
-    for (ThreadId t = 0; t < kThreads; ++t)
+    for (ThreadId t = 0; t < kThreads; ++t) {
         std::printf("T%d:%d/8  ", t, timeAt[t][0]);
+        doc.set(series, "t" + std::to_string(t) + "_top_frac",
+                static_cast<double>(timeAt[t][0]) / kSteps);
+    }
     std::printf("\n");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tcm::sim::results::ResultsDoc doc;
+    doc.bench = "fig3"; // a visualization: no experiment scale applies
+
     std::printf("Figure 3: visualizing shuffling algorithms "
                 "(T0 least nice ... T3 nicest)\n");
     show("(a) Round-robin shuffle", tcm::sched::ShuffleMode::RoundRobin,
-         false);
+         false, "round-robin", doc);
     show("(b) Insertion shuffle (nicest-at-top resolution, TCM default)",
-         tcm::sched::ShuffleMode::Insertion, true);
+         tcm::sched::ShuffleMode::Insertion, true, "insertion", doc);
     show("(b') Insertion shuffle (literal Algorithm 2 reading)",
-         tcm::sched::ShuffleMode::Insertion, false);
+         tcm::sched::ShuffleMode::Insertion, false, "insertion(literal)",
+         doc);
     std::printf("\nNote: the paper's Algorithm 2 pseudocode is ambiguous "
                 "about rank direction;\nthe default resolves it so nicer "
                 "threads are prioritized more often\n(Section 1, "
                 "contributions). bench_table6_shuffling compares both.\n");
+    tcm::bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -8,16 +8,18 @@
  * speedup than every prior algorithm and lower maximum slowdown; ATLAS
  * close on throughput but far worse on fairness; PAR-BS close on
  * fairness but worse on throughput.
+ *
+ * The grid itself lives in sim::paper::fig4 so tools/claims checks the
+ * same numbers this bench prints.
  */
 
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "workload/mixes.hpp"
+#include "sim/paper_experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -25,48 +27,32 @@ main()
     sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
     bench::printHeader("Figure 4: TCM vs prior schedulers (headline)",
                        scale);
+    std::printf("workloads: %d (equal thirds at 50/75/100%% intensity)\n\n",
+                3 * scale.workloadsPerCategory);
 
-    std::vector<std::vector<workload::ThreadProfile>> workloads;
-    for (double intensity : {0.5, 0.75, 1.0}) {
-        auto set = workload::workloadSet(scale.workloadsPerCategory,
-                                         config.numCores, intensity,
-                                         2000 + static_cast<int>(
-                                                    intensity * 100));
-        workloads.insert(workloads.end(), set.begin(), set.end());
-    }
-    std::printf("workloads: %zu (equal thirds at 50/75/100%% intensity)\n\n",
-                workloads.size());
+    sim::results::ResultsDoc doc = sim::paper::fig4(config, scale);
+    auto val = [&doc](const char *sched, const char *metric) {
+        const double *v = doc.find(sched, "", metric);
+        return v ? *v : 0.0;
+    };
 
-    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
     std::printf("%-10s %18s %15s %17s\n", "scheduler", "weighted speedup",
                 "max slowdown", "harmonic speedup");
-
-    double atlasWs = 0, atlasMs = 0, parbsWs = 0, parbsMs = 0, tcmWs = 0,
-           tcmMs = 0;
-    for (const auto &agg : sim::evaluateMatrix(
-             config, workloads, sim::paperSchedulers(), scale, cache, 1)) {
-        std::printf("%-10s %18.2f %15.2f %17.3f\n", agg.scheduler.c_str(),
-                    agg.weightedSpeedup.mean(), agg.maxSlowdown.mean(),
-                    agg.harmonicSpeedup.mean());
-        if (agg.scheduler == "ATLAS") {
-            atlasWs = agg.weightedSpeedup.mean();
-            atlasMs = agg.maxSlowdown.mean();
-        } else if (agg.scheduler == "PAR-BS") {
-            parbsWs = agg.weightedSpeedup.mean();
-            parbsMs = agg.maxSlowdown.mean();
-        } else if (agg.scheduler == "TCM") {
-            tcmWs = agg.weightedSpeedup.mean();
-            tcmMs = agg.maxSlowdown.mean();
-        }
-    }
+    for (const sim::results::Row &row : doc.rows)
+        std::printf("%-10s %18.2f %15.2f %17.3f\n", row.series.c_str(),
+                    val(row.series.c_str(), "ws"),
+                    val(row.series.c_str(), "ms"),
+                    val(row.series.c_str(), "hs"));
 
     std::printf("\nTCM vs ATLAS:  WS %+6.1f%% (paper +4.6%%),  MS %+6.1f%% "
                 "(paper -38.6%%)\n",
-                100.0 * (tcmWs / atlasWs - 1.0),
-                100.0 * (tcmMs / atlasMs - 1.0));
+                100.0 * (val("TCM", "ws") / val("ATLAS", "ws") - 1.0),
+                100.0 * (val("TCM", "ms") / val("ATLAS", "ms") - 1.0));
     std::printf("TCM vs PAR-BS: WS %+6.1f%% (paper +7.6%%),  MS %+6.1f%% "
                 "(paper -4.6%%)\n",
-                100.0 * (tcmWs / parbsWs - 1.0),
-                100.0 * (tcmMs / parbsMs - 1.0));
+                100.0 * (val("TCM", "ws") / val("PAR-BS", "ws") - 1.0),
+                100.0 * (val("TCM", "ms") / val("PAR-BS", "ms") - 1.0));
+
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -14,7 +14,7 @@
 #include "workload/mixes.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -74,5 +74,21 @@ main()
     std::printf("\npaper's reading: TCM's improvements are consistent "
                 "across individual workloads,\nnot an artifact of "
                 "averaging.\n");
+
+    sim::results::ResultsDoc doc("fig5", scale);
+    for (const auto &spec : schedulers) {
+        for (char w : {'A', 'B', 'C', 'D'}) {
+            const sim::RunResult &r = results[spec.name()][w];
+            doc.setAt(spec.name(), std::string(1, w), "ws",
+                      r.metrics.weightedSpeedup);
+            doc.setAt(spec.name(), std::string(1, w), "ms",
+                      r.metrics.maxSlowdown);
+        }
+        doc.setAt(spec.name(), "avg", "ws",
+                  avg[spec.name()].weightedSpeedup.mean());
+        doc.setAt(spec.name(), "avg", "ms",
+                  avg[spec.name()].maxSlowdown.mean());
+    }
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -37,7 +37,7 @@ struct SweepPoint
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -100,6 +100,7 @@ main()
         specs.push_back(p.spec);
     auto aggs = sim::evaluateMatrix(config, wl, specs, scale, cache, 9);
 
+    sim::results::ResultsDoc doc("fig6", scale);
     for (std::size_t i = 0; i < points.size(); ++i) {
         const sim::AggregateResult &agg = aggs[i];
         std::printf("%-10s %-16s WS=%6.2f  MS=%6.2f  HS=%6.3f\n",
@@ -108,10 +109,17 @@ main()
                     agg.harmonicSpeedup.mean());
         if (points[i].groupEnd)
             std::printf("\n");
+        doc.setAt(agg.scheduler, points[i].label, "ws",
+                  agg.weightedSpeedup.mean());
+        doc.setAt(agg.scheduler, points[i].label, "ms",
+                  agg.maxSlowdown.mean());
+        doc.setAt(agg.scheduler, points[i].label, "hs",
+                  agg.harmonicSpeedup.mean());
     }
 
     std::printf("\npaper's reading: TCM's ClusterThresh traces a smooth WS/"
                 "MS frontier;\nATLAS's MS barely moves with its quantum, "
                 "PAR-BS's WS barely moves with its cap.\n");
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

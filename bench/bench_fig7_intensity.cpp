@@ -18,7 +18,7 @@
 #include "workload/mixes.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -87,5 +87,18 @@ main()
                 100.0 * (tcm100.maxSlowdown.mean() /
                              parbs100.maxSlowdown.mean() -
                          1.0));
+
+    sim::results::ResultsDoc doc("fig7", scale);
+    for (const auto &spec : schedulers) {
+        for (double intensity : intensities) {
+            int pct = static_cast<int>(intensity * 100);
+            const sim::AggregateResult &agg = results[spec.name()][pct];
+            std::string point = "i" + std::to_string(pct);
+            doc.setAt(spec.name(), point, "ws",
+                      agg.weightedSpeedup.mean());
+            doc.setAt(spec.name(), point, "ms", agg.maxSlowdown.mean());
+        }
+    }
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -17,7 +17,7 @@
 #include "workload/benchmark_table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -70,5 +70,18 @@ main()
     std::printf("\npaper's reading: ATLAS lets high-weight heavy threads "
                 "crush light ones;\nTCM accelerates light threads while "
                 "still favoring weighted heavy threads.\n");
+
+    sim::results::ResultsDoc doc("fig8", scale);
+    for (std::size_t t = 0; t < mix.size(); ++t) {
+        doc.set(entries[t].name, "weight", entries[t].weight);
+        doc.set(entries[t].name, "speedup_atlas",
+                atlas.metrics.speedups[t]);
+        doc.set(entries[t].name, "speedup_tcm", tcm.metrics.speedups[t]);
+    }
+    doc.set("system", "atlas_ws", atlas.metrics.weightedSpeedup);
+    doc.set("system", "atlas_ms", atlas.metrics.maxSlowdown);
+    doc.set("system", "tcm_ws", tcm.metrics.weightedSpeedup);
+    doc.set("system", "tcm_ms", tcm.metrics.maxSlowdown);
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

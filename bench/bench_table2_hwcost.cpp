@@ -6,11 +6,12 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "sched/tcm/hw_cost.hpp"
 #include "sim/experiment.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -39,5 +40,21 @@ main()
     std::printf("%-28s %10llu %10s\n", "random-shuffle-only total",
                 static_cast<unsigned long long>(cost.totalRandomShuffleOnly()),
                 "< 0.5 Kbits");
+
+    sim::results::ResultsDoc doc;
+    doc.bench = "table2"; // analytic formulas: no experiment scale
+    sim::results::Row &row = doc.row("bits");
+    row.set("mpki_counters", static_cast<double>(cost.mpkiCounters));
+    row.set("load_counters", static_cast<double>(cost.loadCounters));
+    row.set("blp_counters", static_cast<double>(cost.blpCounters));
+    row.set("blp_average", static_cast<double>(cost.blpAverage));
+    row.set("shadow_row_indices",
+            static_cast<double>(cost.shadowRowIndices));
+    row.set("shadow_hit_counters",
+            static_cast<double>(cost.shadowHitCounters));
+    row.set("total", static_cast<double>(cost.total()));
+    row.set("total_random_shuffle_only",
+            static_cast<double>(cost.totalRandomShuffleOnly()));
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

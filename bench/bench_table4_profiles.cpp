@@ -5,18 +5,18 @@
  * compared against the paper's targets. This is the calibration evidence
  * that the trace generator substitution preserves scheduler-visible
  * behaviour.
+ *
+ * The measurement loop lives in sim::paper::table4 so tools/claims
+ * gates on the same calibration errors this bench prints.
  */
 
-#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/experiment.hpp"
-#include "sim/simulator.hpp"
-#include "workload/benchmark_table.hpp"
+#include "sim/paper_experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -26,35 +26,31 @@ main()
         "Table 4: synthetic clone calibration (measured alone vs paper)",
         scale);
 
+    sim::results::ResultsDoc doc = sim::paper::table4(config, scale);
+
     std::printf("%-12s | %8s %8s %6s | %6s %6s %6s | %6s %6s %6s\n",
                 "benchmark", "MPKI", "meas", "err%", "RBL", "meas", "err",
                 "BLP", "meas", "err");
-
-    double worstMpkiErr = 0.0, worstRblErr = 0.0, worstBlpErr = 0.0;
-    for (const auto &profile : workload::benchmarkTable()) {
-        sim::Simulator sim(config, {profile},
-                           sched::SchedulerSpec::frfcfs(), 99,
-                           /*enableProbe=*/true);
-        sim.run(scale.warmup, scale.measure * 2);
-        auto b = sim.behavior(0);
-
-        double mpkiErr = profile.mpki > 0.05
-                             ? 100.0 * (b.mpki - profile.mpki) / profile.mpki
-                             : 0.0;
-        double rblErr = b.rbl - profile.rbl;
-        double blpErr = b.blp - profile.blp;
-        worstMpkiErr = std::max(worstMpkiErr, std::fabs(mpkiErr));
-        worstRblErr = std::max(worstRblErr, std::fabs(rblErr));
-        worstBlpErr = std::max(worstBlpErr, std::fabs(blpErr));
-
+    for (const sim::results::Row &row : doc.rows) {
+        if (row.series == "worst")
+            continue;
+        auto v = [&row](const char *metric) {
+            const double *p = row.find(metric);
+            return p ? *p : 0.0;
+        };
         std::printf("%-12s | %8.2f %8.2f %5.1f%% | %6.3f %6.3f %+6.3f | "
                     "%6.2f %6.2f %+6.2f\n",
-                    profile.name.c_str(), profile.mpki, b.mpki, mpkiErr,
-                    profile.rbl, b.rbl, rblErr, profile.blp, b.blp,
-                    blpErr);
+                    row.series.c_str(), v("mpki_target"), v("mpki"),
+                    v("mpki_err_pct"), v("rbl_target"), v("rbl"),
+                    v("rbl_err"), v("blp_target"), v("blp"), v("blp_err"));
     }
+
+    const sim::results::Row &worst = doc.row("worst");
     std::printf("\nworst absolute errors: MPKI %.1f%%, RBL %.3f, BLP "
                 "%.2f banks\n",
-                worstMpkiErr, worstRblErr, worstBlpErr);
+                *worst.find("mpki_err_pct"), *worst.find("rbl_err"),
+                *worst.find("blp_err"));
+
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

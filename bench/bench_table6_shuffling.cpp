@@ -9,77 +9,36 @@
  * average (4.84) and the variance (0.85 vs ~1.5).
  *
  * As an ablation this bench also reports the literal-pseudocode reading
- * of insertion shuffle (see TcmParams::nicestAtTop).
+ * of insertion shuffle (see TcmParams::nicestAtTop). The grid lives in
+ * sim::paper::table6 so tools/claims checks the same numbers.
  */
 
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "common/running_stat.hpp"
-#include "sim/experiment.hpp"
-#include "workload/mixes.hpp"
-
-namespace {
-
-using namespace tcm;
-
-struct Row
-{
-    const char *label;
-    sched::ShuffleMode mode;
-    bool nicestAtTop;
-};
-
-} // namespace
+#include "sim/paper_experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace tcm;
+
     sim::SystemConfig config;
     sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
     bench::printHeader("Table 6: maximum slowdown by shuffling algorithm",
                        scale);
 
-    // Mixed-heterogeneity population: half heterogeneous (50 %), half
-    // homogeneous-leaning (100 % intensive), which is what separates the
-    // dynamic policy from pure insertion/random.
-    std::vector<std::vector<workload::ThreadProfile>> workloads;
-    auto a = workload::workloadSet((scale.workloadsPerCategory + 1) / 2,
-                                   config.numCores, 0.5, 6000);
-    auto b = workload::workloadSet((scale.workloadsPerCategory + 1) / 2,
-                                   config.numCores, 1.0, 6500);
-    workloads.insert(workloads.end(), a.begin(), a.end());
-    workloads.insert(workloads.end(), b.begin(), b.end());
-
-    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
-
-    const Row rows[] = {
-        {"round-robin", sched::ShuffleMode::RoundRobin, true},
-        {"random", sched::ShuffleMode::Random, true},
-        {"insertion", sched::ShuffleMode::Insertion, true},
-        {"insertion(literal)", sched::ShuffleMode::Insertion, false},
-        {"TCM (dynamic)", sched::ShuffleMode::Dynamic, true},
-        {"TCM (dyn,literal)", sched::ShuffleMode::Dynamic, false},
-    };
-
-    std::vector<sched::SchedulerSpec> specs;
-    for (const Row &row : rows) {
-        sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
-        spec.tcm.shuffleMode = row.mode;
-        spec.tcm.nicestAtTop = row.nicestAtTop;
-        specs.push_back(spec);
-    }
-    auto aggs =
-        sim::evaluateMatrix(config, workloads, specs, scale, cache, 13);
+    sim::results::ResultsDoc doc = sim::paper::table6(config, scale);
 
     std::printf("%-20s %12s %12s\n", "shuffling algorithm", "MS average",
                 "MS variance");
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        std::printf("%-20s %12.2f %12.2f\n", rows[i].label,
-                    aggs[i].maxSlowdown.mean(),
-                    aggs[i].maxSlowdown.variance());
+    for (const sim::results::Row &row : doc.rows)
+        std::printf("%-20s %12.2f %12.2f\n", row.series.c_str(),
+                    *row.find("ms_avg"), *row.find("ms_var"));
     std::printf("\npaper (Table 6): round-robin 5.58/1.61, random "
                 "5.13/1.53, insertion 4.96/1.45,\nTCM dynamic 4.84/0.85 — "
                 "dynamic switching wins on both average and variance.\n");
+
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

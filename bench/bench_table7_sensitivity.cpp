@@ -10,13 +10,14 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
 #include "workload/mixes.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tcm;
 
@@ -48,6 +49,7 @@ main()
     auto aggs =
         sim::evaluateMatrix(config, workloads, specs, scale, cache, 21);
 
+    sim::results::ResultsDoc doc("table7", scale);
     std::printf("%-28s %18s %15s\n", "parameter", "weighted speedup",
                 "max slowdown");
     std::size_t row = 0;
@@ -55,6 +57,11 @@ main()
         const sim::AggregateResult &agg = aggs[row++];
         std::printf("ShuffleAlgoThresh=%-10.2f %18.2f %15.2f\n", thresh,
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());
+        char label[40];
+        std::snprintf(label, sizeof(label), "%.2f", thresh);
+        doc.setAt("ShuffleAlgoThresh", label, "ws",
+                  agg.weightedSpeedup.mean());
+        doc.setAt("ShuffleAlgoThresh", label, "ms", agg.maxSlowdown.mean());
     }
     std::printf("\n");
     for (Cycle interval : intervals) {
@@ -62,8 +69,13 @@ main()
         std::printf("ShuffleInterval=%-12llu %18.2f %15.2f\n",
                     static_cast<unsigned long long>(interval),
                     agg.weightedSpeedup.mean(), agg.maxSlowdown.mean());
+        std::string label = std::to_string(interval);
+        doc.setAt("ShuffleInterval", label, "ws",
+                  agg.weightedSpeedup.mean());
+        doc.setAt("ShuffleInterval", label, "ms", agg.maxSlowdown.mean());
     }
     std::printf("\npaper (Table 7): WS 14.2-14.7, MS 5.4-6.0 across the "
                 "whole range -> robust.\n");
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

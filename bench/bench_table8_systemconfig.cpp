@@ -23,7 +23,8 @@ using namespace tcm;
 
 void
 compare(sim::SystemConfig config, const sim::ExperimentScale &scale,
-        const std::string &label)
+        const std::string &label, const char *series,
+        sim::results::ResultsDoc &doc)
 {
     auto workloads = workload::workloadSet(scale.workloadsPerCategory,
                                            config.numCores, 0.5, 8000);
@@ -44,32 +45,38 @@ compare(sim::SystemConfig config, const sim::ExperimentScale &scale,
                          1.0),
                 tcm.weightedSpeedup.mean(), tcm.maxSlowdown.mean(),
                 atlas.weightedSpeedup.mean(), atlas.maxSlowdown.mean());
+    doc.setAt(series, label, "tcm_ws", tcm.weightedSpeedup.mean());
+    doc.setAt(series, label, "tcm_ms", tcm.maxSlowdown.mean());
+    doc.setAt(series, label, "atlas_ws", atlas.weightedSpeedup.mean());
+    doc.setAt(series, label, "atlas_ms", atlas.maxSlowdown.mean());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
     bench::printHeader(
         "Table 8: TCM vs ATLAS across system configurations "
         "(dWS/dMS = TCM relative to ATLAS)",
         scale);
+    sim::results::ResultsDoc doc("table8", scale);
 
     std::printf("-- number of memory controllers (24 cores) --\n");
     for (int channels : {1, 2, 4, 8, 16}) {
         sim::SystemConfig config;
         config.numChannels = channels;
-        compare(config, scale,
-                std::to_string(channels) + " controller(s)");
+        compare(config, scale, std::to_string(channels) + " controller(s)",
+                "controllers", doc);
     }
 
     std::printf("\n-- number of cores (4 controllers) --\n");
     for (int cores : {4, 8, 16, 24, 32}) {
         sim::SystemConfig config;
         config.numCores = cores;
-        compare(config, scale, std::to_string(cores) + " cores");
+        compare(config, scale, std::to_string(cores) + " cores", "cores",
+                doc);
     }
 
     std::printf("\n-- last-level cache size (MPKI scaling) --\n");
@@ -82,10 +89,11 @@ main()
                          CachePoint{"1MB", 0.6}, CachePoint{"2MB", 0.36}}) {
         sim::SystemConfig config;
         config.mpkiScale = p.scale;
-        compare(config, scale, p.label);
+        compare(config, scale, p.label, "llc", doc);
     }
 
     std::printf("\npaper (Table 8): TCM dWS +0..5%%, dMS -28..-53%% across "
                 "all configurations.\n");
+    bench::writeJsonIfRequested(doc, argc, argv);
     return 0;
 }

@@ -1,6 +1,10 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/numfmt.hpp"
 
 namespace tcm::bench {
 
@@ -28,9 +32,45 @@ printAggregate(const sim::AggregateResult &r)
 std::string
 fmt(double v, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return buf;
+    // std::to_chars, not snprintf: table rows feed goldens and diffs, so
+    // they must not bend to the process locale's decimal separator.
+    return formatDouble(v, precision);
+}
+
+std::string
+jsonOutputPath(const std::string &bench, int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            return argv[i + 1];
+    const char *dir = std::getenv("TCMSIM_BENCH_JSON");
+    if (!dir || !*dir)
+        return "";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "bench: cannot create TCMSIM_BENCH_JSON dir %s\n",
+                     dir);
+        std::exit(1);
+    }
+    return std::string(dir) + "/BENCH_" + bench + ".json";
+}
+
+void
+writeJsonIfRequested(const sim::results::ResultsDoc &doc, int argc,
+                     char **argv)
+{
+    std::string path = jsonOutputPath(doc.bench, argc, argv);
+    if (path.empty())
+        return;
+    try {
+        doc.save(path);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench: %s\n", e.what());
+        std::exit(1);
+    }
+    std::fprintf(stderr, "results json: %s\n", path.c_str());
 }
 
 } // namespace tcm::bench

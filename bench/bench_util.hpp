@@ -1,6 +1,10 @@
 /**
  * @file
- * Shared formatting and setup helpers for the reproduction benches.
+ * Shared formatting and setup helpers for the reproduction benches,
+ * plus structured-results emission: every bench fills a
+ * sim::results::ResultsDoc alongside its text tables and hands it to
+ * writeJsonIfRequested(), so a run can be diffed and claim-checked by
+ * tools/claims instead of eyeballed.
  */
 
 #pragma once
@@ -9,6 +13,7 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/results.hpp"
 
 namespace tcm::bench {
 
@@ -18,7 +23,26 @@ void printHeader(const std::string &title, const sim::ExperimentScale &scale);
 /** Print one "name: WS=.. MS=.. HS=.." row. */
 void printAggregate(const sim::AggregateResult &r);
 
-/** Markdown-ish table row helpers. */
+/** Markdown-ish table row helpers (locale-independent). */
 std::string fmt(double v, int precision = 2);
+
+/**
+ * Where this bench run's structured results should go: the value of a
+ * `--json PATH` argument if present, else `$TCMSIM_BENCH_JSON/BENCH_
+ * <bench>.json` (the env var names a directory, created on demand so
+ * one exported variable collects a whole bench sweep), else "" (no
+ * JSON requested).
+ */
+std::string jsonOutputPath(const std::string &bench, int argc,
+                           char **argv);
+
+/**
+ * Serialize @p doc to jsonOutputPath(doc.bench, ...) when the run asked
+ * for it; a no-op otherwise. Prints a one-line "results json: PATH"
+ * note to stderr (stdout stays byte-identical with and without JSON
+ * emission). Exits nonzero on I/O failure.
+ */
+void writeJsonIfRequested(const sim::results::ResultsDoc &doc, int argc,
+                          char **argv);
 
 } // namespace tcm::bench

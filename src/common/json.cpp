@@ -1,0 +1,296 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tcm::json {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value document()
+    {
+        Value v = value();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeWord(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value value()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.string = string();
+            return v;
+          }
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return boolean(true);
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return boolean(false);
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Value{};
+          default: return number();
+        }
+    }
+
+    static Value boolean(bool b)
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value object()
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = string();
+            skipSpace();
+            expect(':');
+            v.object.emplace_back(std::move(key), value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value array()
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += unicodeEscape(); break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    /** \uXXXX as UTF-8 (surrogate pairs unsupported: our writers never
+     *  emit them; lone surrogates decode to U+FFFD-style bytes). */
+    std::string unicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') code += static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') code += static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') code += static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    Value number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-')
+                ++pos_;
+            else
+                break;
+        }
+        Value v;
+        v.kind = Value::Kind::Number;
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        auto [end, ec] = std::from_chars(first, last, v.number);
+        if (ec != std::errc{} || end != last) {
+            pos_ = start;
+            fail("bad number");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+Value::numberOr(const std::string &key, double def) const
+{
+    const Value *v = find(key);
+    return v && v->kind == Kind::Number ? v->number : def;
+}
+
+std::string
+Value::stringOr(const std::string &key, const std::string &def) const
+{
+    const Value *v = find(key);
+    return v && v->kind == Kind::String ? v->string : def;
+}
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tcm::json

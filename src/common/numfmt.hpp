@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Locale-independent floating-point formatting (std::to_chars).
+ *
+ * Every serialized number in the repo — bench results JSON, telemetry
+ * JSONL, golden files — must render identically on every platform and
+ * under every LC_NUMERIC, or goldens stop being diffable. printf-family
+ * formatting honors the process locale (a German locale prints "0,5"),
+ * so all JSON emission routes through these helpers instead.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace tcm {
+
+/**
+ * Shortest decimal form that round-trips to exactly @p v
+ * (std::chars_format::general). "0.5" stays "0.5", 1/3 gets all the
+ * digits it needs. Non-finite values render as "nan"/"inf"/"-inf";
+ * JSON writers must map those to null before emission.
+ */
+std::string formatDouble(double v);
+
+/** Fixed-precision decimal form (std::chars_format::fixed), the
+ *  locale-independent equivalent of printf("%.*f"). */
+std::string formatDouble(double v, int precision);
+
+} // namespace tcm

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Declarative paper-claims registry: the reproduction's headline
+ * findings (orderings on the throughput/fairness Pareto frontier,
+ * calibration bands, shuffling statistics) encoded as machine-checkable
+ * invariants over the structured bench results (sim/results.hpp).
+ *
+ * A claim references metrics by flat key "<bench>/<series>/<metric>"
+ * (or "<bench>/<series>@<point>/<metric>" for multi-point rows) and is
+ * one of:
+ *   - atLeast / atMost   : subject >= ref - eps (resp. <=  + eps) for
+ *                          EVERY reference key — ordering claims;
+ *   - ratioAtLeast/AtMost: subject >= factor * ref (resp. <=) for
+ *                          every reference — relative-gap claims;
+ *   - band               : lo <= subject <= hi — calibration claims.
+ * Missing keys never pass silently: they evaluate to Status::Missing,
+ * which counts as failure.
+ *
+ * tools/claims runs the relevant experiments, evaluates paperClaims()
+ * and additionally diffs the fresh documents against committed golden
+ * BENCH_*.json baselines (diff()), so both a semantic regression (an
+ * ordering flips) and silent numeric drift fail CI.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/results.hpp"
+
+namespace tcm::sim::claims {
+
+/** Flat metric view over one or more results documents. */
+class ResultSet
+{
+  public:
+    /** Add every metric of @p doc under its flat keys. */
+    void add(const results::ResultsDoc &doc);
+
+    /** Set one key directly (tests, synthetic sets). */
+    void set(const std::string &key, double value);
+
+    const double *find(const std::string &key) const;
+
+    /** "<bench>/<series>[@<point>]/<metric>". */
+    static std::string key(const std::string &bench,
+                           const std::string &series,
+                           const std::string &point,
+                           const std::string &metric);
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+enum class Kind { AtLeast, AtMost, RatioAtLeast, RatioAtMost, Band };
+
+struct Claim
+{
+    std::string id;          // stable short name, e.g. "fig4.tcm_ws_vs_priors"
+    std::string description; // one line for the verdict table
+    Kind kind = Kind::Band;
+    std::string subject;
+    std::vector<std::string> references; // empty for Band
+    double epsilon = 0.0;                // additive slack (AtLeast/AtMost)
+    double factor = 1.0;                 // multiplier (Ratio*)
+    double lo = 0.0, hi = 0.0;           // Band bounds (inclusive)
+
+    static Claim atLeast(std::string id, std::string description,
+                         std::string subject,
+                         std::vector<std::string> references,
+                         double epsilon = 0.0);
+    static Claim atMost(std::string id, std::string description,
+                        std::string subject,
+                        std::vector<std::string> references,
+                        double epsilon = 0.0);
+    static Claim ratioAtLeast(std::string id, std::string description,
+                              std::string subject,
+                              std::vector<std::string> references,
+                              double factor);
+    static Claim ratioAtMost(std::string id, std::string description,
+                             std::string subject,
+                             std::vector<std::string> references,
+                             double factor);
+    static Claim band(std::string id, std::string description,
+                      std::string subject, double lo, double hi);
+};
+
+enum class Status { Pass, Fail, Missing };
+
+struct Outcome
+{
+    std::string id;
+    Status status = Status::Missing;
+    /** Measured-vs-bound rendering, e.g. "8.89 >= 8.14 - 0.10 [PAR-BS]";
+     *  for Missing, the absent key. */
+    std::string detail;
+    /** Worst slack across references: >= 0 passes, < 0 fails (NaN when
+     *  keys were missing). Lets callers sort by how close a claim is. */
+    double margin = 0.0;
+};
+
+Outcome evaluate(const Claim &claim, const ResultSet &set);
+std::vector<Outcome> evaluateAll(const std::vector<Claim> &registry,
+                                 const ResultSet &set);
+
+/** Failed + missing outcomes (the count a gate should exit with). */
+int failureCount(const std::vector<Outcome> &outcomes);
+
+/** Human-readable verdict table (one row per claim) to @p out. */
+void printVerdictTable(const std::vector<Claim> &registry,
+                       const std::vector<Outcome> &outcomes,
+                       std::FILE *out);
+
+/**
+ * Baseline diff: symmetric comparison of @p fresh against @p baseline.
+ * Scale or bench-name mismatches, rows/metrics present on one side
+ * only, and values differing by more than max(absTol, relTol*|base|)
+ * all produce one human-readable line each; empty result == match.
+ */
+std::vector<std::string> diff(const results::ResultsDoc &fresh,
+                              const results::ResultsDoc &baseline,
+                              double relTol, double absTol);
+
+/**
+ * The registered paper claims over the fig4 / table4 / table6 documents
+ * (see tools/claims and EXPERIMENTS.md "Gating on paper claims").
+ * Bounds encode what this reproduction demonstrably shows at CI and
+ * default scales — shape claims with tolerance bands, not the paper's
+ * absolute numbers.
+ */
+std::vector<Claim> paperClaims();
+
+} // namespace tcm::sim::claims

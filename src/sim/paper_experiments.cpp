@@ -1,0 +1,125 @@
+#include "sim/paper_experiments.hpp"
+
+#include <cmath>
+
+#include "sim/alone_cache.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmark_table.hpp"
+#include "workload/mixes.hpp"
+
+namespace tcm::sim::paper {
+
+results::ResultsDoc
+fig4(const SystemConfig &config, const ExperimentScale &scale, int jobs)
+{
+    // The exact bench_fig4 population: per-intensity seeds 2050/2075/2100.
+    std::vector<std::vector<workload::ThreadProfile>> workloads;
+    for (double intensity : {0.5, 0.75, 1.0}) {
+        auto set = workload::workloadSet(
+            scale.workloadsPerCategory, config.numCores, intensity,
+            2000 + static_cast<int>(intensity * 100));
+        workloads.insert(workloads.end(), set.begin(), set.end());
+    }
+
+    AloneIpcCache cache(config, scale.warmup, scale.measure);
+    auto aggs = evaluateMatrix(config, workloads, paperSchedulers(), scale,
+                               cache, /*baseSeed=*/1, jobs);
+
+    results::ResultsDoc doc("fig4", scale);
+    for (const AggregateResult &agg : aggs) {
+        results::Row &row = doc.row(agg.scheduler);
+        row.set("ws", agg.weightedSpeedup.mean());
+        row.set("ms", agg.maxSlowdown.mean());
+        row.set("hs", agg.harmonicSpeedup.mean());
+    }
+    return doc;
+}
+
+results::ResultsDoc
+table4(const SystemConfig &config, const ExperimentScale &scale)
+{
+    results::ResultsDoc doc("table4", scale);
+    double worstMpkiErr = 0.0, worstRblErr = 0.0, worstBlpErr = 0.0;
+    for (const auto &profile : workload::benchmarkTable()) {
+        Simulator sim(config, {profile}, sched::SchedulerSpec::frfcfs(), 99,
+                      /*enableProbe=*/true);
+        sim.run(scale.warmup, scale.measure * 2);
+        auto b = sim.behavior(0);
+
+        double mpkiErr = profile.mpki > 0.05
+                             ? 100.0 * (b.mpki - profile.mpki) / profile.mpki
+                             : 0.0;
+        double rblErr = b.rbl - profile.rbl;
+        double blpErr = b.blp - profile.blp;
+        worstMpkiErr = std::max(worstMpkiErr, std::fabs(mpkiErr));
+        worstRblErr = std::max(worstRblErr, std::fabs(rblErr));
+        worstBlpErr = std::max(worstBlpErr, std::fabs(blpErr));
+
+        results::Row &row = doc.row(profile.name);
+        row.set("mpki_target", profile.mpki);
+        row.set("mpki", b.mpki);
+        row.set("mpki_err_pct", mpkiErr);
+        row.set("rbl_target", profile.rbl);
+        row.set("rbl", b.rbl);
+        row.set("rbl_err", rblErr);
+        row.set("blp_target", profile.blp);
+        row.set("blp", b.blp);
+        row.set("blp_err", blpErr);
+    }
+    results::Row &worst = doc.row("worst");
+    worst.set("mpki_err_pct", worstMpkiErr);
+    worst.set("rbl_err", worstRblErr);
+    worst.set("blp_err", worstBlpErr);
+    return doc;
+}
+
+results::ResultsDoc
+table6(const SystemConfig &config, const ExperimentScale &scale, int jobs)
+{
+    // Mixed-heterogeneity population (see bench_table6): half
+    // heterogeneous at 50% intensity, half homogeneous-leaning at 100%.
+    std::vector<std::vector<workload::ThreadProfile>> workloads;
+    auto a = workload::workloadSet((scale.workloadsPerCategory + 1) / 2,
+                                   config.numCores, 0.5, 6000);
+    auto b = workload::workloadSet((scale.workloadsPerCategory + 1) / 2,
+                                   config.numCores, 1.0, 6500);
+    workloads.insert(workloads.end(), a.begin(), a.end());
+    workloads.insert(workloads.end(), b.begin(), b.end());
+
+    struct Algo
+    {
+        const char *label;
+        sched::ShuffleMode mode;
+        bool nicestAtTop;
+    };
+    const Algo algos[] = {
+        {"round-robin", sched::ShuffleMode::RoundRobin, true},
+        {"random", sched::ShuffleMode::Random, true},
+        {"insertion", sched::ShuffleMode::Insertion, true},
+        {"insertion(literal)", sched::ShuffleMode::Insertion, false},
+        {"TCM (dynamic)", sched::ShuffleMode::Dynamic, true},
+        {"TCM (dyn,literal)", sched::ShuffleMode::Dynamic, false},
+    };
+
+    std::vector<sched::SchedulerSpec> specs;
+    for (const Algo &algo : algos) {
+        sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+        spec.tcm.shuffleMode = algo.mode;
+        spec.tcm.nicestAtTop = algo.nicestAtTop;
+        specs.push_back(spec);
+    }
+
+    AloneIpcCache cache(config, scale.warmup, scale.measure);
+    auto aggs = evaluateMatrix(config, workloads, specs, scale, cache,
+                               /*baseSeed=*/13, jobs);
+
+    results::ResultsDoc doc("table6", scale);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        results::Row &row = doc.row(algos[i].label);
+        row.set("ms_avg", aggs[i].maxSlowdown.mean());
+        row.set("ms_var", aggs[i].maxSlowdown.variance());
+    }
+    return doc;
+}
+
+} // namespace tcm::sim::paper

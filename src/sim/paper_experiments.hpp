@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared paper-experiment drivers: the exact experiment grids behind
+ * bench_fig4 / bench_table4 / bench_table6, factored out so the benches
+ * and tools/claims run the *same* code path — a claims gate that
+ * re-derived its own grid could silently drift from what the bench
+ * prints.
+ *
+ * Each driver returns a structured results document (sim/results.hpp);
+ * benches render their tables from it, tools/claims evaluates the
+ * claim registry against it and diffs it with the committed goldens.
+ * All grids fan out through sim::runMatrix, so results are
+ * bit-identical at any --jobs level.
+ */
+
+#pragma once
+
+#include "sim/results.hpp"
+#include "sim/system_config.hpp"
+
+namespace tcm::sim::paper {
+
+/**
+ * Figure 4 headline grid: the five paper schedulers over equal thirds
+ * of 50/75/100%-intensity workloads (base seed 1). One row per
+ * scheduler with metrics ws / ms / hs.
+ */
+results::ResultsDoc fig4(const SystemConfig &config,
+                         const ExperimentScale &scale, int jobs = 0);
+
+/**
+ * Table 4 calibration: every synthetic benchmark clone run alone (seed
+ * 99, probe on, 2x measure window). One row per clone with
+ * target/measured/error triples for MPKI, RBL and BLP, plus a "worst"
+ * summary row with the worst absolute errors.
+ */
+results::ResultsDoc table4(const SystemConfig &config,
+                           const ExperimentScale &scale);
+
+/**
+ * Table 6 shuffling comparison: the four shuffling algorithms (plus
+ * both insertion-shuffle readings) on the mixed-heterogeneity
+ * population (seeds 6000/6500, base seed 13). One row per algorithm
+ * with metrics ms_avg / ms_var.
+ */
+results::ResultsDoc table6(const SystemConfig &config,
+                           const ExperimentScale &scale, int jobs = 0);
+
+} // namespace tcm::sim::paper

@@ -1,0 +1,193 @@
+#include "sim/results.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "common/numfmt.hpp"
+
+namespace tcm::sim::results {
+
+void
+Row::set(const std::string &metric, double value)
+{
+    for (auto &[k, v] : metrics) {
+        if (k == metric) {
+            v = value;
+            return;
+        }
+    }
+    metrics.emplace_back(metric, value);
+}
+
+const double *
+Row::find(const std::string &metric) const
+{
+    for (const auto &[k, v] : metrics)
+        if (k == metric)
+            return &v;
+    return nullptr;
+}
+
+ResultsDoc::ResultsDoc(std::string benchName, const ExperimentScale &scale)
+    : bench(std::move(benchName)),
+      warmup(scale.warmup),
+      measure(scale.measure),
+      workloadsPerCategory(scale.workloadsPerCategory)
+{
+}
+
+Row &
+ResultsDoc::row(const std::string &series, const std::string &point)
+{
+    for (Row &r : rows)
+        if (r.series == series && r.point == point)
+            return r;
+    rows.push_back(Row{series, point, {}});
+    return rows.back();
+}
+
+void
+ResultsDoc::set(const std::string &series, const std::string &metric,
+                double value)
+{
+    row(series).set(metric, value);
+}
+
+void
+ResultsDoc::setAt(const std::string &series, const std::string &point,
+                  const std::string &metric, double value)
+{
+    row(series, point).set(metric, value);
+}
+
+const double *
+ResultsDoc::find(const std::string &series, const std::string &point,
+                 const std::string &metric) const
+{
+    for (const Row &r : rows)
+        if (r.series == series && r.point == point)
+            return r.find(metric);
+    return nullptr;
+}
+
+std::string
+ResultsDoc::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema_version\": " + std::to_string(schemaVersion) + ",\n";
+    out += "  \"bench\": " + json::quote(bench) + ",\n";
+    out += "  \"scale\": {\"warmup\": " +
+           std::to_string(static_cast<unsigned long long>(warmup)) +
+           ", \"measure\": " +
+           std::to_string(static_cast<unsigned long long>(measure)) +
+           ", \"workloads_per_category\": " +
+           std::to_string(workloadsPerCategory) + "},\n";
+    out += "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"series\": " + json::quote(r.series);
+        if (!r.point.empty())
+            out += ", \"point\": " + json::quote(r.point);
+        out += ", \"metrics\": {";
+        for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+            if (m)
+                out += ", ";
+            out += json::quote(r.metrics[m].first) + ": ";
+            // JSON has no non-finite literals; null marks "not measured".
+            double v = r.metrics[m].second;
+            out += std::isfinite(v) ? formatDouble(v) : "null";
+        }
+        out += "}}";
+    }
+    out += rows.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+ResultsDoc::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw std::runtime_error("results: cannot write " + path);
+    std::string text = toJson();
+    std::fwrite(text.data(), 1, text.size(), f);
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw std::runtime_error("results: write error on " + path);
+}
+
+ResultsDoc
+ResultsDoc::fromJson(const std::string &text)
+{
+    json::Value root = json::parse(text);
+    if (!root.isObject())
+        throw std::runtime_error("results: document is not an object");
+
+    ResultsDoc doc;
+    doc.schemaVersion =
+        static_cast<int>(root.numberOr("schema_version", -1));
+    if (doc.schemaVersion != kSchemaVersion)
+        throw std::runtime_error(
+            "results: unsupported schema_version " +
+            std::to_string(doc.schemaVersion) + " (expected " +
+            std::to_string(kSchemaVersion) + ")");
+    doc.bench = root.stringOr("bench", "");
+
+    if (const json::Value *scale = root.find("scale")) {
+        doc.warmup = static_cast<Cycle>(scale->numberOr("warmup", 0));
+        doc.measure = static_cast<Cycle>(scale->numberOr("measure", 0));
+        doc.workloadsPerCategory = static_cast<int>(
+            scale->numberOr("workloads_per_category", 0));
+    }
+
+    const json::Value *rows = root.find("rows");
+    if (!rows || !rows->isArray())
+        throw std::runtime_error("results: missing rows array");
+    for (const json::Value &rowVal : rows->array) {
+        if (!rowVal.isObject())
+            throw std::runtime_error("results: row is not an object");
+        Row r;
+        r.series = rowVal.stringOr("series", "");
+        r.point = rowVal.stringOr("point", "");
+        if (const json::Value *metrics = rowVal.find("metrics")) {
+            for (const auto &[k, v] : metrics->object) {
+                if (v.isNumber())
+                    r.metrics.emplace_back(k, v.number);
+                else if (v.isNull())
+                    r.metrics.emplace_back(
+                        k, std::numeric_limits<double>::quiet_NaN());
+                else
+                    throw std::runtime_error(
+                        "results: metric '" + k + "' is not a number");
+            }
+        }
+        doc.rows.push_back(std::move(r));
+    }
+    return doc;
+}
+
+ResultsDoc
+ResultsDoc::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("results: cannot read " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return fromJson(text.str());
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(std::string(e.what()) + " in " + path);
+    }
+}
+
+} // namespace tcm::sim::results

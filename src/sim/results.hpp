@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structured bench results: the self-describing JSON document every
+ * reproduction bench (and tools/claims) emits, so the paper's numbers
+ * are machine-checkable instead of eyeballable free text.
+ *
+ * A document is a flat table: rows keyed by (series, point) — series is
+ * "which line of the figure" (a scheduler, a benchmark clone, a config
+ * label), point the position along it ("" for single-point rows, "i25"
+ * for Figure 7's 25%-intensity column) — each carrying an ordered list
+ * of named scalar metrics. Serialization is schema-versioned, keys are
+ * emitted in insertion order, and all numbers go through
+ * common/numfmt's shortest round-trip form, so two runs that computed
+ * the same doubles produce byte-identical files on any platform.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace tcm::sim::results {
+
+/** Bump when the document layout changes shape (not when benches add
+ *  metrics: readers must tolerate new rows/keys). */
+inline constexpr int kSchemaVersion = 1;
+
+/** One (series, point) row: ordered metric name/value pairs. */
+struct Row
+{
+    std::string series;
+    std::string point;
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Overwrite @p metric or append it, preserving insertion order. */
+    void set(const std::string &metric, double value);
+
+    /** Value of @p metric, or nullptr. */
+    const double *find(const std::string &metric) const;
+};
+
+struct ResultsDoc
+{
+    int schemaVersion = kSchemaVersion;
+    std::string bench; // "fig4", "table6", ...
+    Cycle warmup = 0;
+    Cycle measure = 0;
+    int workloadsPerCategory = 0;
+    std::vector<Row> rows;
+
+    ResultsDoc() = default;
+    ResultsDoc(std::string benchName, const ExperimentScale &scale);
+
+    /** Row (@p series, @p point), appended when missing. */
+    Row &row(const std::string &series, const std::string &point = "");
+
+    /** Shorthand for row(series).set(metric, value). */
+    void set(const std::string &series, const std::string &metric,
+             double value);
+    /** Shorthand for row(series, point).set(metric, value). */
+    void setAt(const std::string &series, const std::string &point,
+               const std::string &metric, double value);
+
+    /** Value lookup, nullptr when the row or metric is absent. */
+    const double *find(const std::string &series, const std::string &point,
+                       const std::string &metric) const;
+
+    /** Deterministic pretty-printed JSON (ends with a newline). */
+    std::string toJson() const;
+
+    /** toJson() to @p path; throws std::runtime_error on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** Parse a document; throws std::runtime_error on malformed input
+     *  or an unsupported schema_version. */
+    static ResultsDoc fromJson(const std::string &text);
+
+    /** fromJson() over the contents of @p path; throws on I/O failure. */
+    static ResultsDoc load(const std::string &path);
+};
+
+} // namespace tcm::sim::results

@@ -1,9 +1,12 @@
 #include "telemetry/sink.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <stdexcept>
+
+#include "common/numfmt.hpp"
 
 namespace tcm::telemetry {
 
@@ -53,11 +56,11 @@ DecisionEvent::arg(const std::string &key) const
 std::string
 jsonNumber(double v)
 {
-    if (std::isnan(v))
-        return "null"; // JSON has no NaN
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return buf;
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Infinity
+    // Locale-independent shortest round-trip form: goldens diffed across
+    // platforms must not depend on LC_NUMERIC or printf rounding.
+    return formatDouble(v);
 }
 
 std::string

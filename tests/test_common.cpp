@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "common/env.hpp"
+#include "common/numfmt.hpp"
 #include "common/random.hpp"
 #include "common/running_stat.hpp"
 
@@ -193,4 +199,53 @@ TEST(Env, DoubleParsesValue)
     setenv("TCMSIM_TEST_VAR", "0.25", 1);
     EXPECT_DOUBLE_EQ(envDouble("TCMSIM_TEST_VAR", 1.0), 0.25);
     unsetenv("TCMSIM_TEST_VAR");
+}
+
+// ---------------------------------------------------------------------------
+// formatDouble (common/numfmt)
+// ---------------------------------------------------------------------------
+
+TEST(NumFmt, ShortestFormRoundTrips)
+{
+    for (double v : {0.5, 1.0 / 3.0, 8.916972010003711, -2.25, 0.0,
+                     5e-324, 1.7976931348623157e308}) {
+        std::string s = formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(NumFmt, ShortestFormIsShortest)
+{
+    EXPECT_EQ(formatDouble(0.5), "0.5");
+    EXPECT_EQ(formatDouble(1.0), "1");
+    EXPECT_EQ(formatDouble(-2.0), "-2");
+    EXPECT_EQ(formatDouble(0.0), "0");
+}
+
+TEST(NumFmt, FixedPrecision)
+{
+    EXPECT_EQ(formatDouble(1.0 / 3.0, 2), "0.33");
+    EXPECT_EQ(formatDouble(2.5, 3), "2.500");
+    EXPECT_EQ(formatDouble(-0.125, 2), "-0.12");
+}
+
+TEST(NumFmt, NonFinite)
+{
+    EXPECT_EQ(formatDouble(std::nan("")), "nan");
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()), "inf");
+    EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()),
+              "-inf");
+}
+
+TEST(NumFmt, IgnoresLocale)
+{
+    // A locale with a comma decimal separator must not leak into the
+    // output. de_DE may not be installed in the container; if setlocale
+    // fails the test still exercises the default path.
+    const char *old = std::setlocale(LC_NUMERIC, nullptr);
+    std::string saved = old ? old : "C";
+    std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+    EXPECT_EQ(formatDouble(0.5), "0.5");
+    EXPECT_EQ(formatDouble(1.0 / 3.0, 2), "0.33");
+    std::setlocale(LC_NUMERIC, saved.c_str());
 }

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Paper-claims regression gate. Runs the fig4 / table4 / table6
+ * experiment grids through the shared drivers (sim/paper_experiments),
+ * evaluates the declarative claim registry (sim/claims) against the
+ * structured results, and optionally diffs each fresh document against
+ * the committed golden BENCH_*.json baselines.
+ *
+ * Exit codes: 0 all claims pass (and baselines match, when given);
+ * 1 at least one claim failed or a baseline diverged; 2 usage error.
+ *
+ * Typical invocations:
+ *   claims --scale ci --baseline bench/golden --out claims-out
+ *   claims --scale ci --baseline bench/golden --regold   # refresh goldens
+ *   claims --list                                        # print registry
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "sim/claims.hpp"
+#include "sim/paper_experiments.hpp"
+#include "sim/system_config.hpp"
+
+namespace {
+
+using namespace tcm;
+
+struct Options
+{
+    // --scale ci: full run length (run-length effects — TCM quanta per
+    // run, calibration probe windows — match the default scale) but half
+    // the workload population, halving the wall-clock cost.
+    sim::ExperimentScale scale{50'000, 300'000, 4};
+    bool defaultScale = false;
+    int jobs = 0;
+    std::string outDir;
+    std::string baselineDir;
+    bool regold = false;
+    double relTol = 0.02;
+    double absTol = 0.02;
+    bool list = false;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: claims [options]\n"
+        "  --scale ci|default   experiment scale (ci: 300k cycles, 4\n"
+        "                       workloads/category; default: the bench\n"
+        "                       defaults / TCMSIM_* environment)\n"
+        "  --jobs N             worker threads (0 = hardware)\n"
+        "  --out DIR            write fresh BENCH_*.json documents here\n"
+        "  --baseline DIR       diff fresh documents against the goldens\n"
+        "                       in DIR (BENCH_fig4.json, ...)\n"
+        "  --regold             rewrite the baseline documents instead of\n"
+        "                       diffing (requires --baseline)\n"
+        "  --rel-tol X          baseline diff relative tolerance "
+        "(default 0.02)\n"
+        "  --abs-tol X          baseline diff absolute tolerance "
+        "(default 0.02)\n"
+        "  --list               print the claim registry and exit\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "claims: %s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            const char *v = value("--scale");
+            if (v == nullptr)
+                return false;
+            if (std::strcmp(v, "ci") == 0) {
+                opt.defaultScale = false;
+            } else if (std::strcmp(v, "default") == 0) {
+                opt.defaultScale = true;
+                opt.scale = sim::ExperimentScale::fromEnv();
+            } else {
+                std::fprintf(stderr, "claims: unknown scale '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--jobs") {
+            const char *v = value("--jobs");
+            if (v == nullptr)
+                return false;
+            opt.jobs = std::atoi(v);
+        } else if (arg == "--out") {
+            const char *v = value("--out");
+            if (v == nullptr)
+                return false;
+            opt.outDir = v;
+        } else if (arg == "--baseline") {
+            const char *v = value("--baseline");
+            if (v == nullptr)
+                return false;
+            opt.baselineDir = v;
+        } else if (arg == "--regold") {
+            opt.regold = true;
+        } else if (arg == "--rel-tol") {
+            const char *v = value("--rel-tol");
+            if (v == nullptr)
+                return false;
+            opt.relTol = std::atof(v);
+        } else if (arg == "--abs-tol") {
+            const char *v = value("--abs-tol");
+            if (v == nullptr)
+                return false;
+            opt.absTol = std::atof(v);
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "claims: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (opt.regold && opt.baselineDir.empty()) {
+        std::fprintf(stderr, "claims: --regold requires --baseline DIR\n");
+        return false;
+    }
+    return true;
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    std::fprintf(stderr, "claims: cannot create %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return false;
+}
+
+std::string
+docFile(const std::string &dir, const sim::results::ResultsDoc &doc)
+{
+    return dir + "/BENCH_" + doc.bench + ".json";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcm;
+
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage(stderr);
+        return 2;
+    }
+
+    std::vector<sim::claims::Claim> registry = sim::claims::paperClaims();
+    if (opt.list) {
+        for (const sim::claims::Claim &c : registry)
+            std::printf("%-32s %s\n", c.id.c_str(), c.description.c_str());
+        return 0;
+    }
+
+    sim::SystemConfig config;
+    std::fprintf(stderr,
+                 "claims: scale %s (warmup %llu, measure %llu, %d "
+                 "workloads/category)\n",
+                 opt.defaultScale ? "default" : "ci",
+                 static_cast<unsigned long long>(opt.scale.warmup),
+                 static_cast<unsigned long long>(opt.scale.measure),
+                 opt.scale.workloadsPerCategory);
+
+    std::vector<sim::results::ResultsDoc> docs;
+    try {
+        std::fprintf(stderr, "claims: running fig4 grid...\n");
+        docs.push_back(sim::paper::fig4(config, opt.scale, opt.jobs));
+        std::fprintf(stderr, "claims: running table4 calibration...\n");
+        docs.push_back(sim::paper::table4(config, opt.scale));
+        std::fprintf(stderr, "claims: running table6 shuffling grid...\n");
+        docs.push_back(sim::paper::table6(config, opt.scale, opt.jobs));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "claims: experiment failed: %s\n", e.what());
+        return 1;
+    }
+
+    sim::claims::ResultSet set;
+    for (const sim::results::ResultsDoc &doc : docs)
+        set.add(doc);
+
+    std::vector<sim::claims::Outcome> outcomes =
+        sim::claims::evaluateAll(registry, set);
+    sim::claims::printVerdictTable(registry, outcomes, stdout);
+    int failures = sim::claims::failureCount(outcomes);
+
+    if (!opt.outDir.empty()) {
+        if (!ensureDir(opt.outDir))
+            return 2;
+        for (const sim::results::ResultsDoc &doc : docs) {
+            std::string path = docFile(opt.outDir, doc);
+            try {
+                doc.save(path);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "claims: %s\n", e.what());
+                return 2;
+            }
+            std::fprintf(stderr, "claims: wrote %s\n", path.c_str());
+        }
+    }
+
+    int diverged = 0;
+    if (!opt.baselineDir.empty() && opt.regold) {
+        if (!ensureDir(opt.baselineDir))
+            return 2;
+        for (const sim::results::ResultsDoc &doc : docs) {
+            std::string path = docFile(opt.baselineDir, doc);
+            try {
+                doc.save(path);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "claims: %s\n", e.what());
+                return 2;
+            }
+            std::fprintf(stderr, "claims: regolded %s\n", path.c_str());
+        }
+    } else if (!opt.baselineDir.empty()) {
+        for (const sim::results::ResultsDoc &doc : docs) {
+            std::string path = docFile(opt.baselineDir, doc);
+            sim::results::ResultsDoc baseline;
+            try {
+                baseline = sim::results::ResultsDoc::load(path);
+            } catch (const std::exception &e) {
+                std::printf("baseline %s: %s (run --regold?)\n",
+                            path.c_str(), e.what());
+                ++diverged;
+                continue;
+            }
+            std::vector<std::string> lines = sim::claims::diff(
+                doc, baseline, opt.relTol, opt.absTol);
+            if (lines.empty()) {
+                std::printf("baseline %s: match (rel-tol %g, abs-tol %g)\n",
+                            path.c_str(), opt.relTol, opt.absTol);
+                continue;
+            }
+            diverged += static_cast<int>(lines.size());
+            std::printf("baseline %s: %zu mismatch(es)\n", path.c_str(),
+                        lines.size());
+            for (const std::string &line : lines)
+                std::printf("  %s\n", line.c_str());
+        }
+    }
+
+    if (failures > 0 || diverged > 0) {
+        std::printf("\nclaims: FAIL (%d claim failure(s), %d baseline "
+                    "mismatch(es))\n",
+                    failures, diverged);
+        return 1;
+    }
+    std::printf("\nclaims: OK (%zu claims, %zu baseline document(s))\n",
+                registry.size(),
+                opt.regold ? std::size_t{0}
+                           : (opt.baselineDir.empty() ? std::size_t{0}
+                                                      : docs.size()));
+    return 0;
+}
