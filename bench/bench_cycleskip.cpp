@@ -1,0 +1,110 @@
+/**
+ * @file
+ * BM_CycleSkip: wall-clock speedup of the event-horizon simulation
+ * kernel (SystemConfig::cycleSkip) over the per-cycle oracle loop,
+ * bucketed by workload memory intensity. Low-intensity workloads spend
+ * most cycles either streaming plain instructions or stalled on a rare
+ * miss — exactly the dead time the kernel skips — so the speedup is
+ * largest there and shrinks as DRAM traffic (and thus executed cycles)
+ * grows.
+ *
+ * Every timed pair is also a correctness check: the per-thread IPCs of
+ * the two modes must be bit-identical or the bench aborts.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace tcm;
+
+struct Bucket
+{
+    const char *name;
+    double fracIntensive;
+};
+
+/** Run one full simulation; returns wall seconds and per-thread IPCs. */
+double
+timedRun(bool cycleSkip, const std::vector<workload::ThreadProfile> &mix,
+         const sched::SchedulerSpec &spec, const sim::ExperimentScale &scale,
+         std::vector<double> &ipc)
+{
+    sim::SystemConfig config;
+    config.cycleSkip = cycleSkip;
+    sched::SchedulerSpec scaled = spec;
+    scaled.scaleToRun(scale.warmup + scale.measure);
+
+    auto t0 = std::chrono::steady_clock::now();
+    sim::Simulator sim(config, mix, scaled, /*seed=*/17);
+    sim.run(scale.warmup, scale.measure);
+    auto t1 = std::chrono::steady_clock::now();
+
+    ipc.clear();
+    for (ThreadId t = 0; t < sim.numThreads(); ++t)
+        ipc.push_back(sim.measuredIpc(t));
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcm;
+
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    bench::printHeader("BM_CycleSkip: event-horizon kernel speedup", scale);
+
+    const Bucket buckets[] = {
+        {"low", 0.125},   // 3 of 24 threads memory-intensive
+        {"mid", 0.5},
+        {"high", 1.0},
+    };
+    const sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+
+    sim::results::ResultsDoc doc("cycleskip", scale);
+
+    std::printf("\n%-22s %12s %12s %10s\n", "bucket", "per-cycle[s]",
+                "skip[s]", "speedup");
+    for (const Bucket &b : buckets) {
+        auto mix = workload::randomMix(24, b.fracIntensive, /*seed=*/77);
+
+        std::vector<double> ipcOff, ipcOn;
+        // Two timed repetitions per mode, keeping the faster one, so a
+        // cold first run doesn't distort the ratio.
+        double off = timedRun(false, mix, spec, scale, ipcOff);
+        double on = timedRun(true, mix, spec, scale, ipcOn);
+        std::vector<double> scratch;
+        off = std::min(off, timedRun(false, mix, spec, scale, scratch));
+        on = std::min(on, timedRun(true, mix, spec, scale, scratch));
+
+        if (ipcOff != ipcOn) {
+            std::fprintf(stderr,
+                         "FATAL: cycleSkip diverged from the per-cycle "
+                         "oracle on bucket %s\n",
+                         b.name);
+            return 1;
+        }
+
+        double speedup = on > 0.0 ? off / on : 0.0;
+        std::string series = std::string("BM_CycleSkip/") + b.name;
+        std::printf("%-22s %12.3f %12.3f %9.2fx\n", series.c_str(), off,
+                    on, speedup);
+        doc.set(series, "seconds_per_cycle_mode", off);
+        doc.set(series, "seconds_skip_mode", on);
+        doc.set(series, "speedup", speedup);
+    }
+
+    bench::writeJsonIfRequested(doc, argc, argv);
+    return 0;
+}

@@ -60,6 +60,89 @@ class Core
     /** DRAM data for @p missId will be available at @p readyAt. */
     void completeMiss(std::uint64_t missId, Cycle readyAt);
 
+    // -- event-horizon support (cycle-skipping kernel) ----------------------
+
+    /**
+     * Exact predicate: would tick(@p now) submit a read or write to a
+     * memory controller? Simulates retire and fetch arithmetic without
+     * mutating core state, except that it may pull the next trace item
+     * into the pending slot — an order-preserving prefetch the real
+     * tick would perform at this same cycle. O(1) in the common cases
+     * (long plain stretch, or a stalled window).
+     */
+    bool wouldSubmitAt(Cycle now);
+
+    /**
+     * Number of cycles starting at @p now (capped at @p maxSpan) that
+     * this core can provably advance with no externally visible effect
+     * other than counter updates, under the span guarantee that no
+     * completion arrives and controller queue occupancies are frozen.
+     * 0 means the core must be ticked normally. Covers the two
+     * steady-state regimes: a fully stalled window (pure no-op ticks)
+     * and pure plain-instruction streaming (closed-form advance).
+     * Apply with fastForwardSilent(k) for any k <= the returned span.
+     * Defined inline: this and fastForwardSilent are the cycle-skip
+     * kernel's innermost operations.
+     */
+    Cycle
+    silentSpan(Cycle now, Cycle maxSpan) const
+    {
+        if (window_.empty())
+            return 0;
+        const Entry &head = window_.front();
+
+        // Regime 1 — dormant: window full, head miss not yet
+        // retireable. Both retire and fetch are complete no-ops until
+        // the miss's data becomes ready (or a completion arrives, which
+        // only happens at an executed cycle, ending the span anyway).
+        if (head.plain == 0 && occupancy_ >= params_.windowSize) {
+            auto it = done_.find(head.missId);
+            if (it == done_.end())
+                return maxSpan; // blocked until external completeMiss
+            if (it->second > now)
+                return maxSpan < it->second - now ? maxSpan
+                                                  : it->second - now;
+            return 0; // data ready: this tick retires
+        }
+
+        // Regime 2 — pure streaming: a single plain bundle spans the
+        // whole window, widths are symmetric, and the pending gap keeps
+        // every fetch slot busy. Each tick then retires and fetches
+        // exactly fetchWidth plain instructions, leaving the window
+        // value-identical (see fastForwardSilent).
+        if (params_.fetchWidth == params_.retireWidth && havePending_ &&
+            window_.size() == 1 && head.plain > 0 &&
+            static_cast<int>(head.plain) == occupancy_ &&
+            occupancy_ >= params_.retireWidth) {
+            const std::uint64_t fw =
+                static_cast<std::uint64_t>(params_.fetchWidth);
+            if (pendingGap_ >= fw) {
+                Cycle span = pendingGap_ / fw;
+                return maxSpan < span ? maxSpan : span;
+            }
+        }
+        return 0;
+    }
+
+    /**
+     * Apply @p k cycles of the regime detected by silentSpan: state
+     * afterwards is bit-identical to k calls of tick(). Only valid for
+     * k <= the span silentSpan just returned.
+     */
+    void
+    fastForwardSilent(Cycle k)
+    {
+        if (window_.front().plain == 0)
+            return; // dormant: k ticks were pure no-ops
+        // Streaming: k ticks each retired and fetched fetchWidth plain
+        // instructions; the window (one bundle of occupancy_
+        // instructions) is value-identical afterwards.
+        const std::uint64_t fw =
+            static_cast<std::uint64_t>(params_.fetchWidth);
+        counters_->instructions += fw * k;
+        pendingGap_ -= fw * k;
+    }
+
     ThreadId id() const { return id_; }
 
     std::uint64_t instructionsRetired() const { return counters_->instructions; }

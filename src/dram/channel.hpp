@@ -54,6 +54,12 @@ class Channel
     bool cmdBusFree(Cycle now) const { return now >= cmdBusFreeAt_; }
 
     /**
+     * First cycle the command bus is free again (earliest-ready bound
+     * for the cycle-skipping kernel: no command can issue before this).
+     */
+    Cycle cmdBusFreeAt() const { return cmdBusFreeAt_; }
+
+    /**
      * True if command @p kind targeting bank @p b (row match for RD/WR
      * is the caller's concern) is legal at @p now, including bank, rank
      * and bus constraints. For Refresh, @p b names any bank of the rank

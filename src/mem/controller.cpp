@@ -68,13 +68,6 @@ MemoryController::submitWrite(ThreadId thread, BankId bank, RowId row,
     queue_.addInFlight(req);
 }
 
-void
-MemoryController::forEachRead(const std::function<void(Request &)> &fn)
-{
-    for (Request &req : queue_.reads())
-        fn(req);
-}
-
 CommandKind
 MemoryController::nextCommand(const Request &req) const
 {
@@ -90,7 +83,18 @@ void
 MemoryController::refreshPolicyCache(Cycle now)
 {
     (void)now;
-    rankCache_.resize(static_cast<std::size_t>(maxThreadSeen_) + 1);
+    // Ranks only move when the policy says so (rank epoch); between
+    // bumps the cached vector is exact, so re-querying rankOf for every
+    // thread on every scan would be pure waste. A cache smaller than
+    // the thread population (a new thread appeared since the build) is
+    // also rebuilt, since cachedRank's out-of-range fallback is the
+    // virtual call this cache exists to avoid.
+    const std::uint64_t epoch = sched_->rankEpoch();
+    const std::size_t want = static_cast<std::size_t>(maxThreadSeen_) + 1;
+    if (epoch == policyCacheEpoch_ && rankCache_.size() >= want)
+        return;
+    policyCacheEpoch_ = epoch;
+    rankCache_.resize(want);
     for (ThreadId t = 0; t <= maxThreadSeen_; ++t)
         rankCache_[t] = sched_->rankOf(id_, t);
     agingCache_ = sched_->agingThreshold();
@@ -323,6 +327,38 @@ MemoryController::tick(Cycle now)
         return;
     }
     nextTryAt_ = next_possible;
+}
+
+Cycle
+MemoryController::nextEventAt(Cycle now) const
+{
+    // Next transported request becomes visible (admitArrivals + hooks).
+    Cycle horizon = queue_.nextArrivalAt();
+
+    if (timing_->refreshEnabled) {
+        for (Cycle due : refreshDueAt_) {
+            // While a refresh is owed the engine owns the command slot
+            // and issues precharges/refreshes on its own timing; don't
+            // predict it, execute every cycle until it retires the owed
+            // refresh (short: bounded by tRP + tRFC).
+            if (due <= now)
+                return now;
+            horizon = std::min(horizon, due);
+        }
+    }
+
+    // Next scheduling scan that could issue a command. nextTryAt_ is a
+    // correct lower bound on the next legal issue time in both idleSkip
+    // modes (it is maintained identically; idleSkip only selects
+    // whether the per-cycle tick consults it), and no command can leave
+    // before the command bus frees. Scans before that bound are no-ops:
+    // priorities (ranks, marked bits, aging) affect which request wins
+    // a scan, never whether a command can legally issue.
+    if (!queue_.reads().empty() || !queue_.writes().empty())
+        horizon = std::min(horizon,
+                           std::max(nextTryAt_, channel_.cmdBusFreeAt()));
+
+    return std::max(horizon, now);
 }
 
 } // namespace tcm::mem

@@ -116,6 +116,18 @@ class MemoryController : public QueueAccess
     /** Advance one CPU cycle: admit arrivals, refresh, issue a command. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle >= @p now at which tick() could do externally
+     * visible work, assuming no new submissions before then (the
+     * simulator executes every submission cycle, then re-queries).
+     * Conservative lower bound folding the next queued arrival, the
+     * next refresh due time, and the next possible command issue
+     * (max of nextTryAt_ and the channel's command-bus free time).
+     * Ticks at cycles before the returned value are state-preserving
+     * no-ops; kCycleNever means idle until outside input.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     /** Completions produced so far; the simulator drains this each cycle. */
     std::vector<Completion> &completions() { return completions_; }
 
@@ -161,7 +173,7 @@ class MemoryController : public QueueAccess
     std::size_t writeLoad() const { return queue_.writeLoad(); }
 
     // QueueAccess
-    void forEachRead(const std::function<void(Request &)> &fn) override;
+    std::vector<Request> &readQueue() override { return queue_.reads(); }
 
   private:
     /** Next DRAM command needed to advance @p req, given bank state. */
@@ -173,7 +185,11 @@ class MemoryController : public QueueAccess
      */
     bool higherPriority(const Request &a, const Request &b, Cycle now) const;
 
-    /** Snapshot scheduler knobs once per scan (hot-path devirtualization). */
+    /**
+     * Snapshot scheduler knobs for the scan (hot-path devirtualization).
+     * Rebuilt only when the policy's rank epoch moves or a new thread
+     * has been seen; otherwise the cached vector is still valid.
+     */
     void refreshPolicyCache(Cycle now);
 
     /** Cached rank lookup for the current scan. */
@@ -214,12 +230,14 @@ class MemoryController : public QueueAccess
     Cycle nextTryAt_ = 0; //!< idle fast-path: no scan before this cycle
     std::uint64_t nextSeq_ = 0;
 
-    // Per-scan policy snapshot (see refreshPolicyCache).
+    // Policy snapshot, valid while the policy's rank epoch stands still
+    // (see refreshPolicyCache).
     std::vector<int> rankCache_;
     Cycle agingCache_ = kCycleNever;
     bool rowHitAboveRankCache_ = false;
     bool useRowHitCache_ = true;
     ThreadId maxThreadSeen_ = 0;
+    std::uint64_t policyCacheEpoch_ = 0; //!< 0 = cache never built
 };
 
 } // namespace tcm::mem

@@ -52,6 +52,18 @@ class RequestQueue
     int readCap() const { return readCap_; }
     int writeCap() const { return writeCap_; }
 
+    /**
+     * Arrival time of the next in-flight request (the FIFO is sorted by
+     * arrivedAt); kCycleNever when nothing is in transport. Event
+     * horizon for admitArrivals: ticks strictly before this admit
+     * nothing.
+     */
+    Cycle
+    nextArrivalAt() const
+    {
+        return inFlight_.empty() ? kCycleNever : inFlight_.front().arrivedAt;
+    }
+
     /** Visible + in-flight read count. */
     std::size_t readLoad() const { return reads_.size() + inFlightReads_; }
 

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -47,8 +46,21 @@ class QueueAccess
   public:
     virtual ~QueueAccess() = default;
 
-    /** Invoke @p fn on every queued (not yet departed) read request. */
-    virtual void forEachRead(const std::function<void(Request &)> &fn) = 0;
+    /** The queued (visible, not yet departed) read requests. */
+    virtual std::vector<Request> &readQueue() = 0;
+
+    /**
+     * Invoke @p fn on every queued read. Templated so scheduler hot
+     * loops pay one virtual call per scan instead of one indirect
+     * std::function call per request.
+     */
+    template <typename Fn>
+    void
+    forEachRead(Fn &&fn)
+    {
+        for (Request &req : readQueue())
+            fn(req);
+    }
 };
 
 /**
@@ -128,6 +140,37 @@ class SchedulerPolicy
     /** Called once per CPU cycle by the simulator (quanta, shuffling). */
     virtual void tick(Cycle /*now*/) {}
 
+    // -- event horizon (cycle-skipping kernel) -------------------------------
+
+    /**
+     * Earliest cycle >= @p now at which this policy's tick() is not a
+     * state-preserving no-op, assuming no observation hook fires before
+     * then (the simulator re-queries after every executed cycle, so
+     * hook-driven changes are always seen). Must be conservative: never
+     * later than the true next event. kCycleNever means "no timed
+     * events at all" (FR-FCFS, FCFS, FixedRank); a policy that cannot
+     * predict may simply return @p now.
+     */
+    virtual Cycle nextEventAt(Cycle /*now*/) const { return kCycleNever; }
+
+    /**
+     * Catch up any per-cycle accrual through cycle @p now (inclusive).
+     * Called by the cycle-skipping simulator at the end of step() so
+     * external readers (tests, reports) observe the same accumulator
+     * values the per-cycle loop would have produced. Policies without
+     * per-cycle accrual ignore it.
+     */
+    virtual void syncTo(Cycle /*now*/) {}
+
+    /**
+     * Monotonically increasing counter bumped whenever the rank vector
+     * (or any prioritization knob) may have changed. Controllers cache
+     * rankOf per scan and only rebuild when the epoch moves, so a
+     * policy MUST bump on every rank mutation. Starts at 1 so a
+     * controller's epoch-0 cache is always considered stale.
+     */
+    virtual std::uint64_t rankEpoch() const { return rankEpoch_; }
+
     // -- prioritization knobs ------------------------------------------------
 
     /**
@@ -149,12 +192,18 @@ class SchedulerPolicy
     virtual bool useRowHit() const { return true; }
 
   protected:
+    /** Record that ranks (or another knob) may have changed. */
+    void bumpRankEpoch() { ++rankEpoch_; }
+
     int numThreads_ = 0;
     int numChannels_ = 0;
     int banksPerChannel_ = 0;
     std::vector<QueueAccess *> queues_;
     const std::vector<CoreCounters> *coreCounters_ = nullptr;
     telemetry::DecisionSink *decisionSink_ = nullptr;
+
+  private:
+    std::uint64_t rankEpoch_ = 1;
 };
 
 } // namespace tcm::mem

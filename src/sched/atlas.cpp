@@ -61,6 +61,7 @@ Atlas::tick(Cycle now)
     std::vector<int> pos = ascendingPositions(key);
     for (ThreadId t = 0; t < numThreads_; ++t)
         ranks_[t] = numThreads_ - 1 - pos[t];
+    bumpRankEpoch();
 
     if (decisionSink_) {
         telemetry::DecisionEvent e;

@@ -53,6 +53,9 @@ class Atlas : public SchedulerPolicy
                    Cycle occupancy) override;
     void tick(Cycle now) override;
 
+    /** Only timed event: the next quantum boundary. */
+    Cycle nextEventAt(Cycle) const override { return nextQuantumAt_; }
+
     int
     rankOf(ChannelId, ThreadId thread) const override
     {

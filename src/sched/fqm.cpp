@@ -73,6 +73,7 @@ Fqm::tick(Cycle now)
     std::vector<int> pos = ascendingPositions(vtime_);
     for (ThreadId t = 0; t < numThreads_; ++t)
         ranks_[t] = numThreads_ - 1 - pos[t];
+    bumpRankEpoch();
 }
 
 } // namespace tcm::sched

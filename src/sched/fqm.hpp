@@ -54,6 +54,9 @@ class Fqm : public SchedulerPolicy
                    Cycle occupancy) override;
     void tick(Cycle now) override;
 
+    /** Only timed event: the next rank recomputation. */
+    Cycle nextEventAt(Cycle) const override { return nextUpdateAt_; }
+
     int
     rankOf(ChannelId, ThreadId thread) const override
     {

@@ -16,12 +16,22 @@ ParBs::configure(int numThreads, int numChannels, int banksPerChannel)
 {
     SchedulerPolicy::configure(numThreads, numChannels, banksPerChannel);
     markedRemaining_.assign(numChannels, 0);
+    queuedReads_.assign(numChannels, 0);
     ranks_.assign(numChannels, std::vector<int>(numThreads, 0));
+}
+
+void
+ParBs::onArrival(const Request &req, Cycle)
+{
+    if (!req.isWrite)
+        ++queuedReads_[req.channel];
 }
 
 void
 ParBs::onDepart(const Request &req, Cycle now)
 {
+    if (!req.isWrite)
+        --queuedReads_[req.channel];
     if (req.marked && !req.isWrite) {
         --markedRemaining_[req.channel];
         if (markedRemaining_[req.channel] == 0 && decisionSink_) {
@@ -43,6 +53,16 @@ ParBs::tick(Cycle now)
     for (ChannelId ch = 0; ch < numChannels_; ++ch)
         if (markedRemaining_[ch] == 0 && queues_[ch])
             formBatch(ch, now);
+}
+
+Cycle
+ParBs::nextEventAt(Cycle now) const
+{
+    for (ChannelId ch = 0; ch < numChannels_; ++ch)
+        if (markedRemaining_[ch] == 0 && queuedReads_[ch] > 0 &&
+            queues_[ch])
+            return now;
+    return kCycleNever;
 }
 
 void
@@ -106,6 +126,7 @@ ParBs::formBatch(ChannelId ch, Cycle now)
     });
     for (int i = 0; i < numThreads_; ++i)
         ranks_[ch][order[i]] = numThreads_ - 1 - i; // lightest -> highest
+    bumpRankEpoch();
 
     if (decisionSink_) {
         telemetry::DecisionEvent e;

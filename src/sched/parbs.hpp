@@ -43,8 +43,17 @@ class ParBs : public SchedulerPolicy
     void configure(int numThreads, int numChannels,
                    int banksPerChannel) override;
 
+    void onArrival(const Request &req, Cycle now) override;
     void onDepart(const Request &req, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * A batch can only form at a channel that has queued reads and no
+     * marked requests left; whether that holds changes only through the
+     * arrival/departure hooks, which fire at executed cycles. So: next
+     * tick if any channel is batch-ready now, never otherwise.
+     */
+    Cycle nextEventAt(Cycle now) const override;
 
     int
     rankOf(ChannelId ch, ThreadId thread) const override
@@ -64,6 +73,7 @@ class ParBs : public SchedulerPolicy
 
     ParBsParams params_;
     std::vector<int> markedRemaining_;        //!< per channel
+    std::vector<int> queuedReads_;            //!< visible reads per channel
     std::vector<std::vector<int>> ranks_;     //!< [channel][thread]
 };
 

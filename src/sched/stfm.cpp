@@ -114,6 +114,7 @@ Stfm::updateRanks(Cycle now)
     if (prioritized) {
         ranks_[victim] = 1; // prioritize the most slowed-down thread
     }
+    bumpRankEpoch();
 
     if (decisionSink_) {
         telemetry::DecisionEvent e;
@@ -132,11 +133,27 @@ Stfm::updateRanks(Cycle now)
 }
 
 void
-Stfm::tick(Cycle now)
+Stfm::syncTo(Cycle now)
 {
+    double span;
+    if (lastAccruedAt_ == kCycleNever)
+        span = 1.0; // first tick ever: one cycle, as the per-cycle loop
+    else if (now <= lastAccruedAt_)
+        return;
+    else
+        span = static_cast<double>(now - lastAccruedAt_);
+    lastAccruedAt_ = now;
     for (ThreadId t = 0; t < numThreads_; ++t)
         if (outstanding_[t] > 0)
-            stShared_[t] += 1.0;
+            stShared_[t] += span;
+}
+
+void
+Stfm::tick(Cycle now)
+{
+    // Stall accrual for every cycle since the last tick (span 1 when
+    // ticked per cycle — identical to the historical "+1 per cycle").
+    syncTo(now);
 
     if (now >= nextUpdateAt_) {
         updateRanks(now);

@@ -56,6 +56,26 @@ class Stfm : public SchedulerPolicy
                    Cycle occupancy) override;
     void tick(Cycle now) override;
 
+    /** Timed events: next rank update or statistics-halving interval.
+     *  Stall-time accrual is caught up lazily (see syncTo), so it does
+     *  not constrain the horizon. */
+    Cycle
+    nextEventAt(Cycle) const override
+    {
+        return nextUpdateAt_ < nextIntervalAt_ ? nextUpdateAt_
+                                               : nextIntervalAt_;
+    }
+
+    /**
+     * Accrue shared stall time for cycles (lastAccruedAt_, now]. Exact
+     * replacement for the per-cycle "+1 while outstanding" loop: the
+     * outstanding counters only change through arrival/departure hooks,
+     * which fire at executed cycles, so they are constant over any
+     * skipped span; and the repeated +1.0 equals one +n in double
+     * precision at these magnitudes (< 2^26 against 52 mantissa bits).
+     */
+    void syncTo(Cycle now) override;
+
     int
     rankOf(ChannelId, ThreadId thread) const override
     {
@@ -79,6 +99,10 @@ class Stfm : public SchedulerPolicy
     std::vector<int> ranks_;
     Cycle nextUpdateAt_ = 0;
     Cycle nextIntervalAt_ = 0;
+    /** Stall accrued through this cycle; kCycleNever = no tick yet
+     *  (the first tick accrues exactly one cycle, like the historical
+     *  per-call "+1"). */
+    Cycle lastAccruedAt_ = kCycleNever;
 };
 
 } // namespace tcm::sched

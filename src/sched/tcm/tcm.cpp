@@ -191,6 +191,7 @@ Tcm::rebuildRanks()
         // lat[0] has the lowest MPKI -> highest rank overall.
         ranks_[lat[i]] = base + static_cast<int>(lat.size() - 1 - i);
     }
+    bumpRankEpoch();
 }
 
 void

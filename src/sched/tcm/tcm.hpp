@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -85,6 +86,13 @@ class Tcm : public SchedulerPolicy
     void onCommand(const Request &req, dram::CommandKind kind, Cycle now,
                    Cycle occupancy) override;
     void tick(Cycle now) override;
+
+    /** Timed events: next quantum boundary or shuffle step. */
+    Cycle
+    nextEventAt(Cycle) const override
+    {
+        return std::min(nextQuantumAt_, nextShuffleAt_);
+    }
 
     int
     rankOf(ChannelId, ThreadId thread) const override

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tcm::sim {
@@ -102,6 +103,7 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
 
     baseInstructions_.assign(numThreads, 0);
     baseMisses_.assign(numThreads, 0);
+    coreSpan_.assign(numThreads, 0);
 }
 
 Simulator::~Simulator() = default;
@@ -193,28 +195,148 @@ Simulator::sampleTelemetry()
 }
 
 void
+Simulator::executeCycle(Cycle now, mem::SchedulerPolicy *active,
+                        Cycle regimeCap)
+{
+    active->tick(now);
+    for (auto &mc : controllers_) {
+        mc->tick(now);
+        auto &comps = mc->completions();
+        if (!comps.empty()) {
+            for (const auto &c : comps) {
+                cores_[c.thread]->completeMiss(c.missId, c.readyAt);
+                // A delivered completion can end a dormant regime;
+                // force a fresh regime test for this core.
+                coreSpan_[c.thread] = 0;
+            }
+            comps.clear();
+        }
+    }
+    if (regimeCap > 0) {
+        // Cycle-skip mode: cores provably inside a silent regime take
+        // the O(1) closed form; the regime test runs after completions
+        // were delivered, so a just-woken core correctly falls out of
+        // the dormant regime and takes the full tick. Cached spans
+        // survive executed cycles: a regime depends only on the core's
+        // own state, which only a full tick or a completion (reset
+        // above) can disturb.
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (coreSpan_[i] == 0)
+                coreSpan_[i] = cores_[i]->silentSpan(now, regimeCap);
+            if (coreSpan_[i] > 0) {
+                cores_[i]->fastForwardSilent(1);
+                --coreSpan_[i];
+            } else {
+                cores_[i]->tick(now);
+            }
+        }
+    } else {
+        for (auto &core : cores_)
+            core->tick(now);
+    }
+    if (now >= telemetrySampleAt_)
+        sampleTelemetry();
+}
+
+Cycle
+Simulator::horizonAt(Cycle now, Cycle end,
+                     const mem::SchedulerPolicy *active) const
+{
+    Cycle h = std::min(active->nextEventAt(now), telemetrySampleAt_);
+    for (const auto &mc : controllers_)
+        h = std::min(h, mc->nextEventAt(now));
+    return std::clamp(h, now, end);
+}
+
+void
 Simulator::step(Cycle cycles)
 {
     mem::SchedulerPolicy *active = probe_ ? static_cast<mem::SchedulerPolicy *>(
                                                 probe_.get())
                                           : policy_.get();
     const Cycle end = now_ + cycles;
-    for (; now_ < end; ++now_) {
-        active->tick(now_);
-        for (auto &mc : controllers_) {
-            mc->tick(now_);
-            auto &comps = mc->completions();
-            if (!comps.empty()) {
-                for (const auto &c : comps)
-                    cores_[c.thread]->completeMiss(c.missId, c.readyAt);
-                comps.clear();
-            }
-        }
-        for (auto &core : cores_)
-            core->tick(now_);
-        if (now_ >= telemetrySampleAt_)
-            sampleTelemetry();
+
+    if (!config_.cycleSkip) {
+        // Per-cycle oracle: the original loop, kept verbatim as the
+        // differential reference for the event-horizon kernel.
+        for (; now_ < end; ++now_)
+            executeCycle(now_, active, /*regimeCap=*/0);
+        return;
     }
+
+    // Event-horizon kernel. Invariant: every cycle at which a scheduler,
+    // controller, or telemetry clock could act — and every cycle at
+    // which a core submits a memory operation — is executed through
+    // executeCycle in canonical order, so all cross-component state
+    // changes happen exactly as in the per-cycle loop. Cycles strictly
+    // inside a horizon span touch cores only: in-regime cores advance
+    // by the closed form, out-of-regime cores tick in lockstep (exact,
+    // just without the no-op scheduler/controller calls).
+    const std::size_t n = cores_.size();
+    coreSpan_.assign(n, 0);
+    while (now_ < end) {
+        executeCycle(now_, active, /*regimeCap=*/end - now_);
+        ++now_;
+        if (now_ >= end)
+            break;
+        const Cycle h = horizonAt(now_, end, active);
+        while (now_ < h) {
+            // Refresh expired spans; cores untouched since their span
+            // was computed keep the remainder (no completion can have
+            // arrived inside the horizon, and completions at executed
+            // cycles reset the span).
+            Cycle k = h - now_;
+            std::size_t out = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (coreSpan_[i] == 0)
+                    coreSpan_[i] = cores_[i]->silentSpan(now_, end - now_);
+                if (coreSpan_[i] == 0)
+                    ++out;
+                else
+                    k = std::min(k, coreSpan_[i]);
+            }
+            if (out == 0) {
+                // Whole fleet in regime: one closed-form jump.
+                for (std::size_t i = 0; i < n; ++i) {
+                    cores_[i]->fastForwardSilent(k);
+                    coreSpan_[i] -= k;
+                }
+                now_ += k;
+                continue;
+            }
+            // A submission this cycle is a cross-component effect:
+            // promote it to a fully executed cycle so the controller
+            // sees it in canonical order. Only out-of-regime cores can
+            // submit (both regimes preclude reaching a memory access).
+            bool submits = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (coreSpan_[i] == 0 && cores_[i]->wouldSubmitAt(now_)) {
+                    submits = true;
+                    break;
+                }
+            }
+            if (submits)
+                break;
+            // Mixed single cycle: lockstep-tick the out-of-regime
+            // cores, closed-form the rest.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (coreSpan_[i] > 0) {
+                    cores_[i]->fastForwardSilent(1);
+                    --coreSpan_[i];
+                } else {
+                    cores_[i]->tick(now_);
+                }
+            }
+            ++now_;
+        }
+    }
+
+    // Catch up lazily accrued scheduler statistics (STFM stall time) to
+    // the last simulated cycle so post-step reads observe the same
+    // values the per-cycle loop leaves behind. No-op in per-cycle mode
+    // and for stateless-in-time policies.
+    if (cycles > 0)
+        active->syncTo(now_ - 1);
 }
 
 void

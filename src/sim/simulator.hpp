@@ -88,6 +88,16 @@ class ProbePolicy : public mem::SchedulerPolicy
 
     void tick(Cycle now) override { inner_->tick(now); }
 
+    // Event-horizon plumbing: the probe itself is purely observational
+    // (hook-driven), so the inner policy's horizon, lazy catch-up, and
+    // rank epoch pass through untouched.
+    Cycle nextEventAt(Cycle now) const override
+    {
+        return inner_->nextEventAt(now);
+    }
+    void syncTo(Cycle now) override { inner_->syncTo(now); }
+    std::uint64_t rankEpoch() const override { return inner_->rankEpoch(); }
+
     int
     rankOf(ChannelId ch, ThreadId t) const override
     {
@@ -234,6 +244,25 @@ class Simulator
     /** Emit one interval sample and re-arm the sampling clock. */
     void sampleTelemetry();
 
+    /**
+     * One fully simulated cycle, in canonical component order.
+     * @p regimeCap > 0 selects cycle-skip mode: cores provably inside a
+     * silent regime advance via the O(1) closed form instead of a full
+     * tick (bit-identical by the regime contract, see Core::silentSpan),
+     * with fresh regimes probed up to @p regimeCap cycles ahead and
+     * cached in coreSpan_. 0 = oracle mode, plain ticks only.
+     */
+    void executeCycle(Cycle now, mem::SchedulerPolicy *active,
+                      Cycle regimeCap);
+
+    /**
+     * Earliest cycle >= @p now at which any component other than a core
+     * could act (conservative minimum over scheduler, telemetry clock,
+     * and every controller), clamped to [@p now, @p end].
+     */
+    Cycle horizonAt(Cycle now, Cycle end,
+                    const mem::SchedulerPolicy *active) const;
+
     SystemConfig config_;
     std::unique_ptr<mem::SchedulerPolicy> policy_;
     std::unique_ptr<ProbePolicy> probe_;
@@ -249,6 +278,8 @@ class Simulator
 
     Cycle now_ = 0;
     Cycle measureStart_ = 0;
+    /** Per-core remaining silent-regime span (cycle-skip scratch). */
+    std::vector<Cycle> coreSpan_;
     std::vector<std::uint64_t> baseInstructions_;
     std::vector<std::uint64_t> baseMisses_;
 };

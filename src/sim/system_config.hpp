@@ -50,6 +50,20 @@ struct SystemConfig
      */
     telemetry::TelemetryConfig telemetry;
 
+    /**
+     * Event-horizon simulation kernel: Simulator::step advances time to
+     * the earliest cycle any component reports it could act (controller
+     * arrivals/refresh/issue, scheduler quantum or shuffle boundaries,
+     * telemetry samples, core submissions), fast-forwarding cores in
+     * closed form across the dead span. Bit-identical to the per-cycle
+     * loop — every RunResult, golden command trace, and bench JSON is
+     * unchanged — because every horizon is a conservative lower bound
+     * and any cycle with possible cross-component effect is executed
+     * normally. Off = the original per-cycle loop (kept as the
+     * differential oracle; see tests/test_cycleskip.cpp).
+     */
+    bool cycleSkip = true;
+
     /** Geometry handed to the trace generator. */
     workload::Geometry geometry() const;
 };

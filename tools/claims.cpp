@@ -46,6 +46,11 @@ struct Options
     double relTol = 0.02;
     double absTol = 0.02;
     bool list = false;
+    // Run the whole harness on the per-cycle oracle loop instead of the
+    // event-horizon kernel. The two are bit-identical by contract, so
+    // the claim verdicts must not change; running the gate once per
+    // mode in CI turns that contract into a checked invariant.
+    bool perCycle = false;
 };
 
 void
@@ -67,7 +72,11 @@ usage(std::FILE *out)
         "(default 0.02)\n"
         "  --abs-tol X          baseline diff absolute tolerance "
         "(default 0.02)\n"
-        "  --list               print the claim registry and exit\n");
+        "  --list               print the claim registry and exit\n"
+        "  --per-cycle          disable the cycle-skip kernel and run\n"
+        "                       the per-cycle oracle loop (results are\n"
+        "                       bit-identical; CI runs the gate in both\n"
+        "                       modes to enforce that)\n");
 }
 
 bool
@@ -124,6 +133,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.absTol = std::atof(v);
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--per-cycle") {
+            opt.perCycle = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             std::exit(0);
@@ -177,13 +188,15 @@ main(int argc, char **argv)
     }
 
     sim::SystemConfig config;
+    config.cycleSkip = !opt.perCycle;
     std::fprintf(stderr,
                  "claims: scale %s (warmup %llu, measure %llu, %d "
-                 "workloads/category)\n",
+                 "workloads/category)%s\n",
                  opt.defaultScale ? "default" : "ci",
                  static_cast<unsigned long long>(opt.scale.warmup),
                  static_cast<unsigned long long>(opt.scale.measure),
-                 opt.scale.workloadsPerCategory);
+                 opt.scale.workloadsPerCategory,
+                 opt.perCycle ? ", per-cycle oracle" : "");
 
     std::vector<sim::results::ResultsDoc> docs;
     try {
