@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BM_IntraRunParallel: wall-clock speedup of intra-run parallel
+ * stepping (SystemConfig::intraRunParallel) over the serial loop, on
+ * the paper's 24-core / 4-channel system under full memory pressure —
+ * the configuration where the per-channel controller work dominates and
+ * gang stepping has the most to win. Renders the same measurement
+ * tools/claims gates on (sim::paper::intraParallel), so the printed
+ * table and the claim verdict can never disagree.
+ *
+ * Every parallel run is also a correctness check: the driver aborts if
+ * any worker count's per-thread IPCs diverge from the serial run's.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "sim/paper_experiments.hpp"
+#include "sim/system_config.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcm;
+
+    sim::ExperimentScale scale = sim::ExperimentScale::fromEnv();
+    bench::printHeader("BM_IntraRunParallel: gang-stepping speedup", scale);
+
+    if (std::thread::hardware_concurrency() < 4)
+        std::fprintf(stderr,
+                     "note: only %u hardware thread(s) — worker lanes "
+                     "will time-share cores and the speedup column is "
+                     "not meaningful on this host\n",
+                     std::thread::hardware_concurrency());
+
+    sim::SystemConfig config;
+    sim::results::ResultsDoc doc;
+    try {
+        doc = sim::paper::intraParallel(config, scale);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "FATAL: %s\n", e.what());
+        return 1;
+    }
+
+    std::printf("\n%-10s %12s %10s\n", "workers", "seconds", "speedup");
+    for (const sim::results::Row &r : doc.rows) {
+        const double *seconds = r.find("seconds");
+        const double *speedup = r.find("speedup");
+        std::printf("%-10s %12.3f %9.2fx\n", r.series.c_str(),
+                    seconds ? *seconds : 0.0, speedup ? *speedup : 0.0);
+    }
+
+    bench::writeJsonIfRequested(doc, argc, argv);
+    return 0;
+}

@@ -29,6 +29,41 @@ MemoryController::MemoryController(ChannelId id,
                 ? timing.tREFI + r * (timing.tREFI / timing.ranksPerChannel)
                 : kCycleNever;
     }
+    openRowScratch_.resize(timing.banksPerChannel, kNoRow);
+}
+
+void
+MemoryController::beginDeferred()
+{
+    assert(deferredHooks_.empty() && deferredLifecycles_.empty() &&
+           deferredEvents_.empty());
+    deferring_ = true;
+    channel_.bufferEvents(&deferredEvents_);
+}
+
+void
+MemoryController::endDeferred()
+{
+    deferring_ = false;
+    channel_.bufferEvents(nullptr);
+}
+
+std::size_t
+MemoryController::stepSpan(Cycle from, Cycle to)
+{
+    std::size_t ticks = 0;
+    for (Cycle u = from; u < to;) {
+        tick(u);
+        ++ticks;
+        // Ticks before the controller's own event horizon are
+        // state-preserving no-ops — jump them, independently of what the
+        // other workers' controllers are doing.
+        Cycle next = nextEventAt(u + 1);
+        if (next == kCycleNever)
+            break;
+        u = next;
+    }
+    return ticks;
 }
 
 void
@@ -100,6 +135,38 @@ MemoryController::refreshPolicyCache(Cycle now)
     agingCache_ = sched_->agingThreshold();
     rowHitAboveRankCache_ = sched_->rowHitAboveRank();
     useRowHitCache_ = sched_->useRowHit();
+
+    // Rebuild the static key halves for every queued read. Rank and
+    // marked bits only move with the rank epoch (PAR-BS bumps it
+    // whenever it flips marked bits), so between rebuilds the keys
+    // stamped here — and at admit time for new arrivals — stay exact.
+    soaRankOk_ = true;
+    const std::vector<Request> &reads = queue_.reads();
+    std::vector<std::uint64_t> &keyHi = queue_.readKeyHi();
+    for (std::size_t i = 0; i < reads.size(); ++i)
+        keyHi[i] = packedKeyHi(reads[i].thread, reads[i].marked);
+}
+
+std::uint64_t
+MemoryController::packedKeyHi(ThreadId thread, bool marked)
+{
+    // Key layout (descending priority, mirrors higherPriority):
+    //   bit 63     over-age escalation        (dynamic, set per scan)
+    //   bit 62     batch bit (PAR-BS)
+    //   bit 61     row hit when rowHitAboveRank (dynamic, set per scan)
+    //   bits 45-60 rank, biased by 32768
+    //   bit 44     row hit otherwise          (dynamic, set per scan)
+    // keyLo is ~arrivedAt (older is larger); exact ties fall back to an
+    // explicit seq compare in the scan.
+    const int rank = cachedRank(thread);
+    if (rank < -32768 || rank > 32767)
+        soaRankOk_ = false; // until the next rebuild re-checks
+    std::uint64_t hi = static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(rank + 32768) & 0xFFFFu)
+                       << 45;
+    if (marked)
+        hi |= std::uint64_t{1} << 62;
+    return hi;
 }
 
 bool
@@ -214,13 +281,99 @@ MemoryController::tryIssue(std::vector<Request> &candidates, Cycle now,
     }
     if (best < 0)
         return false;
+    issueSelected(candidates, static_cast<std::size_t>(best), bestCmd, now);
+    return true;
+}
 
+bool
+MemoryController::tryIssueReads(Cycle now, Cycle &nextPossible)
+{
+    std::vector<Request> &reads = queue_.reads();
+    if (!soaRankOk_)
+        return tryIssue(reads, now, nextPossible);
+    const std::size_t n = reads.size();
+    if (n == 0)
+        return false;
+
+    const BankId *bank = queue_.readBank().data();
+    const RowId *row = queue_.readRow().data();
+    const Cycle *arrivedAt = queue_.readArrivedAt().data();
+    const std::uint64_t *keyHi = queue_.readKeyHi().data();
+
+    // Open-row snapshot: one load per bank up front instead of a Bank
+    // dereference per candidate (bank state cannot change mid-scan).
+    const int nb = channel_.numBanks();
+    for (int b = 0; b < nb; ++b)
+        openRowScratch_[b] = channel_.bank(b).openRow();
+    const RowId *openRow = openRowScratch_.data();
+
+    // agingOn folds the "no aging" and "nothing can be aged yet" cases:
+    // arrivedAt + agingCache_ <= now has no solution while now is below
+    // the threshold itself.
+    const bool agingOn = agingCache_ != kCycleNever && now >= agingCache_;
+    const Cycle agedCutoff = agingOn ? now - agingCache_ : 0;
+    const std::uint64_t rowHitMask =
+        useRowHitCache_
+            ? std::uint64_t{1} << (rowHitAboveRankCache_ ? 61 : 44)
+            : 0;
+
+    int best = -1;
+    CommandKind bestCmd = CommandKind::Read;
+    std::uint64_t bestHi = 0;
+    std::uint64_t bestLo = 0;
+    std::uint64_t bestSeq = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t hi = keyHi[i];
+        hi |= static_cast<std::uint64_t>(agingOn && arrivedAt[i] <= agedCutoff)
+              << 63;
+        if (openRow[bank[i]] == row[i])
+            hi |= rowHitMask;
+        const std::uint64_t lo = ~arrivedAt[i];
+        if (best >= 0) {
+            // Dominance skip: a candidate whose key loses to the best
+            // issuable one found so far cannot win the scan, so the
+            // (much costlier) canIssue probe is unnecessary.
+            if (hi < bestHi)
+                continue;
+            if (hi == bestHi &&
+                (lo < bestLo || (lo == bestLo && reads[i].seq > bestSeq)))
+                continue;
+        }
+        CommandKind cmd = nextCommand(reads[i]);
+        if (!channel_.canIssue(cmd, bank[i], now)) {
+            // nextPossible is only trusted when no command issues this
+            // cycle — and then best stayed negative, no candidate was
+            // dominance-skipped, and this accumulation is complete.
+            nextPossible =
+                std::min(nextPossible, channel_.earliestIssue(cmd, bank[i]));
+            continue;
+        }
+        best = static_cast<int>(i);
+        bestCmd = cmd;
+        bestHi = hi;
+        bestLo = lo;
+        bestSeq = reads[i].seq;
+    }
+    if (best < 0)
+        return false;
+    issueSelected(reads, static_cast<std::size_t>(best), bestCmd, now);
+    return true;
+}
+
+void
+MemoryController::issueSelected(std::vector<Request> &candidates,
+                                std::size_t best, CommandKind cmd, Cycle now)
+{
     Request req = candidates[best]; // copy: removal invalidates references
-    dram::IssueResult res = channel_.issue(bestCmd, req.bank, req.row, now);
+    dram::IssueResult res = channel_.issue(cmd, req.bank, req.row, now);
     stats_.bankBusyCycles += res.occupancy;
-    sched_->onCommand(req, bestCmd, now, res.occupancy);
+    if (deferring_)
+        deferredHooks_.push_back(DeferredHook{
+            DeferredHook::Kind::Command, cmd, now, res.occupancy, req});
+    else
+        sched_->onCommand(req, cmd, now, res.occupancy);
 
-    switch (bestCmd) {
+    switch (cmd) {
       case CommandKind::Activate:
         ++stats_.activates;
         ++stats_.rowMisses;
@@ -237,39 +390,68 @@ MemoryController::tryIssue(std::vector<Request> &candidates, Cycle now,
             req.thread, req.missId, res.dataEnd + timing_->mcToCpuDelay});
         latency_.record(req.thread,
                         res.dataEnd + timing_->mcToCpuDelay - req.issuedAt);
-        if (lifecycle_)
-            lifecycle_->recordLifecycle(
-                req.thread, now - req.arrivedAt,
-                res.dataEnd + timing_->mcToCpuDelay - now);
-        queue_.removeRead(static_cast<std::size_t>(best));
+        if (lifecycle_) {
+            if (deferring_)
+                deferredLifecycles_.push_back(DeferredLifecycle{
+                    now, req.thread, now - req.arrivedAt,
+                    res.dataEnd + timing_->mcToCpuDelay - now});
+            else
+                lifecycle_->recordLifecycle(
+                    req.thread, now - req.arrivedAt,
+                    res.dataEnd + timing_->mcToCpuDelay - now);
+        }
+        queue_.removeRead(best);
         // Departure is stamped at the end of the data burst: a request
         // is "outstanding" (Table 2's load counters) until serviced, not
         // merely until its column command issues.
-        sched_->onDepart(req, res.dataEnd);
+        if (deferring_)
+            deferredHooks_.push_back(DeferredHook{
+                DeferredHook::Kind::Depart, cmd, now, res.dataEnd, req});
+        else
+            sched_->onDepart(req, res.dataEnd);
         maybeAutoPrecharge(req);
         break;
       case CommandKind::Write:
         ++stats_.writesServiced;
         if (!req.sawActivate)
             ++stats_.rowHits;
-        queue_.removeWrite(static_cast<std::size_t>(best));
-        sched_->onDepart(req, res.dataEnd);
+        queue_.removeWrite(best);
+        if (deferring_)
+            deferredHooks_.push_back(DeferredHook{
+                DeferredHook::Kind::Depart, cmd, now, res.dataEnd, req});
+        else
+            sched_->onDepart(req, res.dataEnd);
         maybeAutoPrecharge(req);
         break;
       case CommandKind::Refresh:
         break;
     }
-    return true;
 }
 
 void
 MemoryController::tick(Cycle now)
 {
     {
-        std::vector<Request> arrived = queue_.admitArrivals(now);
+        const std::vector<Request> &arrived = queue_.admitArrivals(now);
         if (!arrived.empty()) {
+            // The just-admitted reads occupy the queue tail in arrival
+            // order; stamp their static key halves with the same cached
+            // knobs the queued keys were built from.
+            std::vector<std::uint64_t> &keyHi = queue_.readKeyHi();
+            std::size_t newReads = 0;
             for (const Request &req : arrived)
-                sched_->onArrival(req, now);
+                newReads += req.isWrite ? 0u : 1u;
+            std::size_t slot = keyHi.size() - newReads;
+            for (const Request &req : arrived) {
+                if (!req.isWrite)
+                    keyHi[slot++] = packedKeyHi(req.thread, req.marked);
+                if (deferring_)
+                    deferredHooks_.push_back(DeferredHook{
+                        DeferredHook::Kind::Arrival, CommandKind::Read, now,
+                        now, req});
+                else
+                    sched_->onArrival(req, now);
+            }
             nextTryAt_ = now; // a fresh request may be issuable at once
         }
     }
@@ -309,7 +491,7 @@ MemoryController::tick(Cycle now)
         }
         // While draining, still make progress on reads if no write can
         // issue this cycle (keeps the bus utilized).
-        if (tryIssue(queue_.reads(), now, next_possible)) {
+        if (tryIssueReads(now, next_possible)) {
             nextTryAt_ = now + timing_->tCK;
             return;
         }
@@ -317,7 +499,7 @@ MemoryController::tick(Cycle now)
         return;
     }
 
-    if (tryIssue(queue_.reads(), now, next_possible)) {
+    if (tryIssueReads(now, next_possible)) {
         nextTryAt_ = now + timing_->tCK;
         return;
     }

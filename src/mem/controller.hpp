@@ -116,6 +116,88 @@ class MemoryController : public QueueAccess
     /** Advance one CPU cycle: admit arrivals, refresh, issue a command. */
     void tick(Cycle now);
 
+    // -- decoupled (intra-run parallel) stepping -----------------------------
+    //
+    // In deferred mode every externally visible side effect of tick()
+    // other than channel/queue/stats mutation — scheduler hooks, command
+    // observer events, lifecycle records — is logged instead of
+    // delivered, so multiple controllers can step concurrently without
+    // touching shared state. The simulator replays the logs at the next
+    // barrier in the canonical serial order (cycle-major, channel-minor)
+    // and then drains completions(), making the parallel schedule
+    // bit-identical to the serial one. Completions stay queued in
+    // completions() as usual; their delayed delivery is invisible
+    // because readyAt is always at least the read latency in the
+    // future, and spans never exceed it.
+
+    /** One deferred scheduler hook, in intra-tick call order. */
+    struct DeferredHook
+    {
+        enum class Kind : std::uint8_t
+        {
+            Arrival,
+            Depart,
+            Command,
+        };
+        Kind kind;
+        dram::CommandKind cmd; //!< Command hooks only
+        Cycle cycle;           //!< tick cycle (replay ordering)
+        Cycle arg;             //!< now / dataEnd / occupancy per kind
+        Request req;
+    };
+
+    /** One deferred lifecycle record. */
+    struct DeferredLifecycle
+    {
+        Cycle cycle;
+        ThreadId thread;
+        Cycle queueing;
+        Cycle service;
+    };
+
+    /** Enter deferred mode; logs must be empty (previously replayed). */
+    void beginDeferred();
+
+    /** Leave deferred mode (logs stay for the owner to replay+clear). */
+    void endDeferred();
+
+    /**
+     * Step this controller over [from, to) in deferred mode, pacing
+     * itself with its own event horizon: cycles where tick() would be a
+     * state-preserving no-op are skipped outright, so each worker jumps
+     * its controller's dead cycles independently inside the span.
+     * Returns the number of ticks actually executed (diagnostic; see
+     * the simulator's intra-parallel counter shards).
+     */
+    std::size_t stepSpan(Cycle from, Cycle to);
+
+    std::vector<DeferredHook> &deferredHooks() { return deferredHooks_; }
+    std::vector<DeferredLifecycle> &deferredLifecycles()
+    {
+        return deferredLifecycles_;
+    }
+    std::vector<dram::CommandEvent> &deferredEvents()
+    {
+        return deferredEvents_;
+    }
+
+    /** Deliver one replayed scheduler hook to @p target. */
+    static void
+    replayHook(SchedulerPolicy &target, const DeferredHook &h)
+    {
+        switch (h.kind) {
+          case DeferredHook::Kind::Arrival:
+            target.onArrival(h.req, h.arg);
+            break;
+          case DeferredHook::Kind::Depart:
+            target.onDepart(h.req, h.arg);
+            break;
+          case DeferredHook::Kind::Command:
+            target.onCommand(h.req, h.cmd, h.cycle, h.arg);
+            break;
+        }
+    }
+
     /**
      * Earliest cycle >= @p now at which tick() could do externally
      * visible work, assuming no new submissions before then (the
@@ -174,6 +256,7 @@ class MemoryController : public QueueAccess
 
     // QueueAccess
     std::vector<Request> &readQueue() override { return queue_.reads(); }
+    Cycle nextArrivalAt() const override { return queue_.nextArrivalAt(); }
 
   private:
     /** Next DRAM command needed to advance @p req, given bank state. */
@@ -209,6 +292,31 @@ class MemoryController : public QueueAccess
     bool tryIssue(std::vector<Request> &candidates, Cycle now,
                   Cycle &nextPossible);
 
+    /**
+     * Read-queue scan over the SoA mirror with packed priority keys:
+     * same selection as tryIssue over queue_.reads(), but streams dense
+     * arrays and skips the canIssue check for candidates whose key loses
+     * to the best issuable one found so far. Falls back to tryIssue when
+     * a rank does not fit the key's 16-bit field (see packedKeyHi).
+     */
+    bool tryIssueReads(Cycle now, Cycle &nextPossible);
+
+    /**
+     * Static half of the packed priority key for @p thread (marked bit
+     * plus biased rank); see tryIssueReads for the full layout. Clears
+     * soaRankOk_ when the rank overflows its field.
+     */
+    std::uint64_t packedKeyHi(ThreadId thread, bool marked);
+
+    /**
+     * Issue nextCommand(@p candidates[best]) and apply every side effect
+     * (stats, completions, latency, lifecycle, hooks, removal). Shared
+     * tail of tryIssue and tryIssueReads; @p candidates must be the live
+     * queue vector the index refers into.
+     */
+    void issueSelected(std::vector<Request> &candidates, std::size_t best,
+                       dram::CommandKind cmd, Cycle now);
+
     /** Progress the refresh engine; true if it consumed the command slot. */
     bool refreshEngine(Cycle now);
 
@@ -238,6 +346,20 @@ class MemoryController : public QueueAccess
     bool useRowHitCache_ = true;
     ThreadId maxThreadSeen_ = 0;
     std::uint64_t policyCacheEpoch_ = 0; //!< 0 = cache never built
+
+    // SoA scan state. soaRankOk_ means every cached rank fits the packed
+    // key's biased 16-bit field; re-evaluated on every cache rebuild,
+    // and cleared (until the next rebuild) if an admitted request's rank
+    // overflows. openRowScratch_ is the per-scan open-row snapshot,
+    // indexed by bank.
+    bool soaRankOk_ = true;
+    std::vector<RowId> openRowScratch_;
+
+    // Deferred-mode logs (see beginDeferred); empty in immediate mode.
+    bool deferring_ = false;
+    std::vector<DeferredHook> deferredHooks_;
+    std::vector<DeferredLifecycle> deferredLifecycles_;
+    std::vector<dram::CommandEvent> deferredEvents_;
 };
 
 } // namespace tcm::mem

@@ -9,6 +9,10 @@ RequestQueue::RequestQueue(int readCap, int writeCap)
 {
     reads_.reserve(readCap);
     writes_.reserve(writeCap);
+    readBank_.reserve(readCap);
+    readRow_.reserve(readCap);
+    readArrivedAt_.reserve(readCap);
+    readKeyHi_.reserve(readCap);
 }
 
 bool
@@ -39,27 +43,36 @@ RequestQueue::addInFlight(const Request &req)
     inFlight_.push_back(req);
 }
 
-std::vector<Request>
+const std::vector<Request> &
 RequestQueue::admitArrivals(Cycle now)
 {
-    std::vector<Request> admitted;
-    std::size_t n = 0;
+    // Fast path: nothing due. The FIFO is sorted by arrivedAt, so one
+    // head probe decides — the scratch buffer is returned (possibly
+    // stale from the previous admitting tick) but sized to zero first
+    // only when we know we must touch it.
+    if (inFlight_.empty() || inFlight_.front().arrivedAt > now) {
+        admitScratch_.clear();
+        return admitScratch_;
+    }
+    std::size_t n = 1;
     while (n < inFlight_.size() && inFlight_[n].arrivedAt <= now)
         ++n;
-    if (n == 0)
-        return admitted;
-    admitted.assign(inFlight_.begin(), inFlight_.begin() + n);
+    admitScratch_.assign(inFlight_.begin(), inFlight_.begin() + n);
     inFlight_.erase(inFlight_.begin(), inFlight_.begin() + n);
-    for (const Request &req : admitted) {
+    for (const Request &req : admitScratch_) {
         if (req.isWrite) {
             --inFlightWrites_;
             writes_.push_back(req);
         } else {
             --inFlightReads_;
             reads_.push_back(req);
+            readBank_.push_back(req.bank);
+            readRow_.push_back(req.row);
+            readArrivedAt_.push_back(req.arrivedAt);
+            readKeyHi_.push_back(0); // controller fills in the key
         }
     }
-    return admitted;
+    return admitScratch_;
 }
 
 Request
@@ -69,6 +82,14 @@ RequestQueue::removeRead(std::size_t idx)
     Request req = reads_[idx];
     reads_[idx] = reads_.back();
     reads_.pop_back();
+    readBank_[idx] = readBank_.back();
+    readBank_.pop_back();
+    readRow_[idx] = readRow_.back();
+    readRow_.pop_back();
+    readArrivedAt_[idx] = readArrivedAt_.back();
+    readArrivedAt_.pop_back();
+    readKeyHi_[idx] = readKeyHi_.back();
+    readKeyHi_.pop_back();
     return req;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mem/request.hpp"
@@ -34,9 +35,12 @@ class RequestQueue
 
     /**
      * Move every in-flight request with arrivedAt <= now into the visible
-     * queues; returns the requests that just arrived (for observer hooks).
+     * queues; returns the requests that just arrived (for observer
+     * hooks). The returned reference aliases an internal scratch buffer
+     * that the next admitArrivals call reuses — no per-tick allocation,
+     * and the empty-tick fast path touches nothing but the FIFO head.
      */
-    std::vector<Request> admitArrivals(Cycle now);
+    const std::vector<Request> &admitArrivals(Cycle now);
 
     std::vector<Request> &reads() { return reads_; }
     std::vector<Request> &writes() { return writes_; }
@@ -70,14 +74,36 @@ class RequestQueue
     /** Visible + in-flight write count. */
     std::size_t writeLoad() const { return writes_.size() + inFlightWrites_; }
 
+    // -- SoA mirror of the read queue ---------------------------------------
+    //
+    // The hot candidate scan touches only a handful of Request fields;
+    // keeping them in parallel arrays (index-aligned with reads()) lets
+    // the scan stream over dense, cache-friendly data instead of
+    // striding through whole Request structs. bank/row/arrivedAt are
+    // maintained structurally here (admit + swap-pop); the packed
+    // priority key is owned by the controller, which rebuilds it when
+    // scheduler knobs move (see MemoryController::refreshPolicyCache).
+
+    const std::vector<BankId> &readBank() const { return readBank_; }
+    const std::vector<RowId> &readRow() const { return readRow_; }
+    const std::vector<Cycle> &readArrivedAt() const { return readArrivedAt_; }
+    std::vector<std::uint64_t> &readKeyHi() { return readKeyHi_; }
+
   private:
     int readCap_;
     int writeCap_;
     std::vector<Request> reads_;
     std::vector<Request> writes_;
     std::vector<Request> inFlight_; //!< FIFO by arrival time
+    std::vector<Request> admitScratch_; //!< reused by admitArrivals
     std::size_t inFlightReads_ = 0;
     std::size_t inFlightWrites_ = 0;
+
+    // Index-aligned with reads_.
+    std::vector<BankId> readBank_;
+    std::vector<RowId> readRow_;
+    std::vector<Cycle> readArrivedAt_;
+    std::vector<std::uint64_t> readKeyHi_;
 };
 
 } // namespace tcm::mem

@@ -88,6 +88,11 @@ ResultsDoc::toJson() const
            std::to_string(static_cast<unsigned long long>(measure)) +
            ", \"workloads_per_category\": " +
            std::to_string(workloadsPerCategory) + "},\n";
+    if (wallSeconds > 0.0 || intraWorkers > 0) {
+        out += "  \"run\": {\"wall_seconds\": " + formatDouble(wallSeconds) +
+               ", \"intra_workers\": " + std::to_string(intraWorkers) +
+               "},\n";
+    }
     out += "  \"rows\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
@@ -147,6 +152,11 @@ ResultsDoc::fromJson(const std::string &text)
         doc.measure = static_cast<Cycle>(scale->numberOr("measure", 0));
         doc.workloadsPerCategory = static_cast<int>(
             scale->numberOr("workloads_per_category", 0));
+    }
+
+    if (const json::Value *run = root.find("run")) {
+        doc.wallSeconds = run->numberOr("wall_seconds", 0.0);
+        doc.intraWorkers = static_cast<int>(run->numberOr("intra_workers", 0));
     }
 
     const json::Value *rows = root.find("rows");

@@ -49,6 +49,20 @@ struct ResultsDoc
     Cycle warmup = 0;
     Cycle measure = 0;
     int workloadsPerCategory = 0;
+
+    // Run provenance, stamped by the producing harness: how long the
+    // experiment took and how many intra-run worker lanes the simulator
+    // used (SystemConfig::intraRunParallel). Both are descriptive
+    // metadata, not results: claims never reference them and the
+    // baseline diff ignores them, so a doc regenerated on different
+    // hardware or at a different worker count still matches its golden.
+    // Serialized only when set (wallSeconds > 0 or intraWorkers > 0) —
+    // the one deliberate exception to byte-identical re-runs — and
+    // parsed tolerantly, so documents written before these fields
+    // existed load unchanged.
+    double wallSeconds = 0.0;
+    int intraWorkers = 0;
+
     std::vector<Row> rows;
 
     ResultsDoc() = default;

@@ -7,6 +7,11 @@ namespace tcm::sim {
 
 namespace {
 
+// Shard slots of the intra-parallel diagnostic counters.
+constexpr std::size_t kShardSpans = 0;      //!< spans stepped per controller
+constexpr std::size_t kShardSpanTicks = 1;  //!< controller ticks inside spans
+constexpr std::size_t kShardCycleTicks = 2; //!< single-cycle gang ticks
+
 /** splitmix64: decorrelate per-thread trace seeds from the run seed. */
 std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t salt)
@@ -104,6 +109,54 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
     baseInstructions_.assign(numThreads, 0);
     baseMisses_.assign(numThreads, 0);
     coreSpan_.assign(numThreads, 0);
+
+    // Earliest a read issued at cycle u can wake its core: u + tCL +
+    // tBURST + mcToCpuDelay. Decoupled spans never exceed this lag, so
+    // delivering span-produced completions at the barrier is invisible.
+    completionLag_ = config_.timing.tCL + config_.timing.tBURST +
+                     config_.timing.mcToCpuDelay;
+
+    if (config_.intraRunParallel > 1) {
+        const std::size_t nch = controllers_.size();
+        const int tasks = static_cast<int>(nch + cores_.size());
+        gang_ = std::make_unique<SpinGang>(
+            std::min(config_.intraRunParallel, tasks));
+        const std::vector<std::string> labels = {"ctrl.spans",
+                                                 "ctrl.span.ticks",
+                                                 "ctrl.cycle.ticks"};
+        parallelStats_ = stats::NamedCounters(labels);
+        workerShards_.assign(nch, stats::NamedCounters(labels));
+        replayIdx_.assign(nch, 0);
+        // One reusable task body: per-barrier state flows through the
+        // span members so gang dispatch never allocates.
+        gangTask_ = [this, nch](std::size_t i) {
+            if (spanCycleMode_) {
+                controllers_[i]->tick(spanFrom_);
+                workerShards_[i].bump(kShardCycleTicks);
+                return;
+            }
+            if (i < nch) {
+                std::size_t ticks = controllers_[i]->stepSpan(spanFrom_,
+                                                              spanTo_);
+                workerShards_[i].bump(kShardSpans);
+                workerShards_[i].bump(kShardSpanTicks, ticks);
+                return;
+            }
+            // Core lane: controller-free by the span's touch bound, so
+            // it only needs the core's own regime machinery.
+            core::Core &core = *cores_[i - nch];
+            for (Cycle u = spanFrom_; u < spanTo_;) {
+                Cycle span = core.silentSpan(u, spanTo_ - u);
+                if (span > 0) {
+                    core.fastForwardSilent(span);
+                    u += span;
+                } else {
+                    core.tick(u);
+                    ++u;
+                }
+            }
+        };
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -254,6 +307,10 @@ Simulator::step(Cycle cycles)
     mem::SchedulerPolicy *active = probe_ ? static_cast<mem::SchedulerPolicy *>(
                                                 probe_.get())
                                           : policy_.get();
+    if (gang_) {
+        stepParallel(cycles, active);
+        return;
+    }
     const Cycle end = now_ + cycles;
 
     if (!config_.cycleSkip) {
@@ -335,6 +392,204 @@ Simulator::step(Cycle cycles)
     // the last simulated cycle so post-step reads observe the same
     // values the per-cycle loop leaves behind. No-op in per-cycle mode
     // and for stateless-in-time policies.
+    if (cycles > 0)
+        active->syncTo(now_ - 1);
+}
+
+void
+Simulator::mergeShards()
+{
+    for (auto &shard : workerShards_) {
+        parallelStats_.addFrom(shard);
+        shard.reset();
+    }
+}
+
+void
+Simulator::replayDeferred(mem::SchedulerPolicy *active)
+{
+    const std::size_t nch = controllers_.size();
+
+    // Scheduler hooks, merged by (cycle, channel) — the order the serial
+    // loop fires them in. Lazily accrued policy statistics are synced to
+    // each hook cycle first: serially, the policy ticks at that cycle
+    // (accruing with pre-hook state) before the controller's hooks fire.
+    replayIdx_.assign(nch, 0);
+    for (;;) {
+        Cycle c = kCycleNever;
+        for (std::size_t ch = 0; ch < nch; ++ch) {
+            const auto &log = controllers_[ch]->deferredHooks();
+            if (replayIdx_[ch] < log.size())
+                c = std::min(c, log[replayIdx_[ch]].cycle);
+        }
+        if (c == kCycleNever)
+            break;
+        active->syncTo(c);
+        for (std::size_t ch = 0; ch < nch; ++ch) {
+            const auto &log = controllers_[ch]->deferredHooks();
+            std::size_t &i = replayIdx_[ch];
+            while (i < log.size() && log[i].cycle == c)
+                mem::MemoryController::replayHook(*active, log[i++]);
+        }
+    }
+
+    // Command events to the channel observers (protocol checker, trace
+    // recorders), same merge order. Consumers are disjoint from the
+    // policy, so cross-category order is immaterial.
+    replayIdx_.assign(nch, 0);
+    for (;;) {
+        Cycle c = kCycleNever;
+        for (std::size_t ch = 0; ch < nch; ++ch) {
+            const auto &log = controllers_[ch]->deferredEvents();
+            if (replayIdx_[ch] < log.size())
+                c = std::min(c, log[replayIdx_[ch]].cycle);
+        }
+        if (c == kCycleNever)
+            break;
+        for (std::size_t ch = 0; ch < nch; ++ch) {
+            const auto &log = controllers_[ch]->deferredEvents();
+            std::size_t &i = replayIdx_[ch];
+            while (i < log.size() && log[i].cycle == c)
+                controllers_[ch]->channel().dispatch(log[i++]);
+        }
+    }
+
+    // Lifecycle records to the telemetry sink (JSONL event order is
+    // part of the bit-identity contract).
+    if (telemetry_) {
+        replayIdx_.assign(nch, 0);
+        for (;;) {
+            Cycle c = kCycleNever;
+            for (std::size_t ch = 0; ch < nch; ++ch) {
+                const auto &log = controllers_[ch]->deferredLifecycles();
+                if (replayIdx_[ch] < log.size())
+                    c = std::min(c, log[replayIdx_[ch]].cycle);
+            }
+            if (c == kCycleNever)
+                break;
+            for (std::size_t ch = 0; ch < nch; ++ch) {
+                const auto &log = controllers_[ch]->deferredLifecycles();
+                std::size_t &i = replayIdx_[ch];
+                while (i < log.size() && log[i].cycle == c) {
+                    const auto &r = log[i++];
+                    telemetry_->recordLifecycle(r.thread, r.queueing,
+                                                r.service);
+                }
+            }
+        }
+    }
+
+    for (auto &mc : controllers_) {
+        mc->deferredHooks().clear();
+        mc->deferredEvents().clear();
+        mc->deferredLifecycles().clear();
+    }
+}
+
+void
+Simulator::gangExecuteCycle(Cycle now, mem::SchedulerPolicy *active,
+                            Cycle regimeCap)
+{
+    active->tick(now);
+    for (auto &mc : controllers_)
+        mc->beginDeferred();
+    spanCycleMode_ = true;
+    spanFrom_ = now;
+    gang_->run(controllers_.size(), gangTask_);
+    for (auto &mc : controllers_)
+        mc->endDeferred();
+    mergeShards();
+    replayDeferred(active);
+    for (auto &mc : controllers_) {
+        auto &comps = mc->completions();
+        for (const auto &c : comps)
+            cores_[c.thread]->completeMiss(c.missId, c.readyAt);
+        comps.clear();
+    }
+    // Cores, in the same regime form as executeCycle — but with the
+    // regime probed fresh each cycle instead of cached in coreSpan_
+    // (decoupled spans advance cores behind the cache's back).
+    if (regimeCap > 0) {
+        for (auto &core : cores_) {
+            if (core->silentSpan(now, regimeCap) > 0)
+                core->fastForwardSilent(1);
+            else
+                core->tick(now);
+        }
+    } else {
+        for (auto &core : cores_)
+            core->tick(now);
+    }
+    if (now >= telemetrySampleAt_)
+        sampleTelemetry();
+}
+
+void
+Simulator::stepParallel(Cycle cycles, mem::SchedulerPolicy *active)
+{
+    const Cycle end = now_ + cycles;
+
+    if (!config_.cycleSkip) {
+        // Per-cycle mode: every cycle is a gang cycle. The policy ticks
+        // every cycle, so no trailing syncTo is needed (as in the
+        // serial oracle loop); replay-time syncTo calls are idempotent.
+        for (; now_ < end; ++now_)
+            gangExecuteCycle(now_, active, /*regimeCap=*/0);
+        return;
+    }
+
+    while (now_ < end) {
+        gangExecuteCycle(now_, active, /*regimeCap=*/end - now_);
+        ++now_;
+        if (now_ >= end)
+            break;
+
+        // Decoupled span [now_, h): controllers and cores step
+        // concurrently, each self-pacing across its dead cycles, with
+        // every cross-component side effect deferred to the barrier.
+        // h is the earliest of:
+        //  - the policy's decoupling horizon (quantum / shuffle / batch
+        //    / update boundaries; ticks before it are no-ops even with
+        //    hooks withheld),
+        //  - the telemetry sampling clock (samples run at executed
+        //    cycles),
+        //  - the completion lag (span-produced completions delivered at
+        //    the barrier must still be in the cores' future),
+        //  - each core's earliest possible memory touch (a core that
+        //    could reach a memory access must tick at an executed cycle,
+        //    in canonical order against live controller state).
+        Cycle h = std::min(active->decoupleHorizon(now_),
+                           telemetrySampleAt_);
+        h = std::min(h, end);
+        bool anyReads = false;
+        for (auto &mc : controllers_)
+            anyReads = anyReads || mc->readLoad() > 0;
+        if (anyReads)
+            h = std::min(h, now_ + completionLag_);
+        for (auto &core : cores_)
+            h = std::min(h, core->earliestMemTouchBound(now_));
+        if (h <= now_)
+            continue; // next iteration executes a canonical gang cycle
+
+        for (auto &mc : controllers_)
+            mc->beginDeferred();
+        spanCycleMode_ = false;
+        spanFrom_ = now_;
+        spanTo_ = h;
+        gang_->run(controllers_.size() + cores_.size(), gangTask_);
+        for (auto &mc : controllers_)
+            mc->endDeferred();
+        mergeShards();
+        replayDeferred(active);
+        for (auto &mc : controllers_) {
+            auto &comps = mc->completions();
+            for (const auto &c : comps)
+                cores_[c.thread]->completeMiss(c.missId, c.readyAt);
+            comps.clear();
+        }
+        now_ = h;
+    }
+
     if (cycles > 0)
         active->syncTo(now_ - 1);
 }

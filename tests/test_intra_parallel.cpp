@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Differential tests for intra-run parallel stepping
+ * (SystemConfig::intraRunParallel): stepping each channel's controller
+ * on a worker gang between deterministic barriers must be bit-identical
+ * to the serial loop — same RunResult (IPCs, metrics, protocol
+ * verdict), same telemetry stream byte for byte, same DRAM command
+ * trace as the committed golden file — at every worker count and in
+ * both execution modes (per-cycle oracle and cycle-skip). Any
+ * divergence, in any of the five paper schedulers, fails.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dram/observer.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "stats/counters.hpp"
+#include "telemetry/sink.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+
+namespace {
+
+/** Same shape as the cycle-skip differential: enough channels/threads
+ *  for real cross-thread and cross-channel contention, small enough
+ *  that five schedulers x three worker counts x two modes stay fast. */
+sim::SystemConfig
+diffConfig(bool cycleSkip, int workers)
+{
+    sim::SystemConfig config;
+    config.numCores = 6;
+    config.numChannels = 2;
+    config.cycleSkip = cycleSkip;
+    config.intraRunParallel = workers;
+    config.protocolCheck = true;
+    config.telemetry.enabled = true;
+    config.telemetry.sampleInterval = 5'000;
+    return config;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Serialize a run's telemetry to JSONL and return the bytes. */
+std::string
+telemetryBytes(const sim::RunResult &r, const std::string &tag)
+{
+    EXPECT_TRUE(r.telemetry != nullptr);
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("tcmsim_intrapar_" + tag + ".jsonl");
+    r.telemetry->writeJsonl(path.string());
+    std::string bytes = readFile(path.string());
+    std::filesystem::remove(path);
+    return bytes;
+}
+
+sim::RunResult
+runAt(const sched::SchedulerSpec &spec, bool cycleSkip, int workers,
+      const sim::ExperimentScale &scale,
+      const std::vector<workload::ThreadProfile> &mix)
+{
+    sim::SystemConfig cfg = diffConfig(cycleSkip, workers);
+    // Per-configuration alone-IPC cache: the alone runs themselves must
+    // also be identical across worker counts for ipcAlone to match.
+    sim::AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    return sim::runWorkload(cfg, mix, spec, scale, cache, /*seed=*/13);
+}
+
+void
+expectIdentical(const sim::RunResult &serial, const sim::RunResult &par,
+                const std::string &tag)
+{
+    ASSERT_EQ(serial.ipcShared.size(), par.ipcShared.size());
+    for (std::size_t t = 0; t < serial.ipcShared.size(); ++t) {
+        EXPECT_EQ(serial.ipcShared[t], par.ipcShared[t])
+            << tag << " thread " << t;
+        EXPECT_EQ(serial.ipcAlone[t], par.ipcAlone[t])
+            << tag << " thread " << t;
+    }
+    EXPECT_EQ(serial.metrics.weightedSpeedup, par.metrics.weightedSpeedup)
+        << tag;
+    EXPECT_EQ(serial.metrics.maxSlowdown, par.metrics.maxSlowdown) << tag;
+    EXPECT_EQ(serial.metrics.harmonicSpeedup, par.metrics.harmonicSpeedup)
+        << tag;
+    EXPECT_EQ(serial.metrics.speedups, par.metrics.speedups) << tag;
+    EXPECT_EQ(serial.metrics.slowdowns, par.metrics.slowdowns) << tag;
+
+    EXPECT_EQ(serial.protocolViolations, 0u) << serial.protocolReport;
+    EXPECT_EQ(par.protocolViolations, 0u) << tag << " " << par.protocolReport;
+
+    // The full telemetry stream — interval samples, scheduler-decision
+    // events, lifecycle latencies — must match byte for byte: a hook
+    // replayed at the wrong cycle or out of channel order shows up here.
+    EXPECT_EQ(telemetryBytes(serial, tag + "_serial"),
+              telemetryBytes(par, tag + "_par"))
+        << tag;
+}
+
+class IntraParallelDifferential
+    : public testing::TestWithParam<sched::SchedulerSpec>
+{
+};
+
+std::string
+schedName(const testing::TestParamInfo<sched::SchedulerSpec> &info)
+{
+    std::string n = sched::algoName(info.param.algo);
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+TEST_P(IntraParallelDifferential, MatchesSerialAtEveryWorkerCount)
+{
+    sched::SchedulerSpec spec = GetParam();
+    sim::ExperimentScale scale;
+    scale.warmup = 20'000;
+    scale.measure = 120'000;
+
+    // Mixed-intensity workload: dormant memory-bound threads, streaming
+    // compute-bound threads, and the transitions between them — the
+    // cases where a mis-sized decoupled span would advance a core past
+    // a memory touch or deliver a completion late.
+    auto mix = workload::randomMix(6, 0.5, /*seed=*/42);
+
+    for (bool cycleSkip : {false, true}) {
+        sim::RunResult serial = runAt(spec, cycleSkip, 1, scale, mix);
+        for (int workers : {2, 4}) {
+            sim::RunResult par = runAt(spec, cycleSkip, workers, scale, mix);
+            std::string tag =
+                schedName(testing::TestParamInfo<sched::SchedulerSpec>(
+                    GetParam(), 0)) +
+                (cycleSkip ? "_skip" : "_oracle") + "_w" +
+                std::to_string(workers);
+            expectIdentical(serial, par, tag);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSchedulers, IntraParallelDifferential,
+                         testing::ValuesIn(sim::paperSchedulers()),
+                         schedName);
+
+// ---------------------------------------------------------------------------
+// Command-stream identity: the gang-stepped run must reproduce the same
+// committed golden trace the serial modes are pinned to (test_golden.cpp
+// and test_cycleskip.cpp), proving equivalence at per-command
+// granularity, not just at aggregate metrics.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+commandTrace(bool cycleSkip, int workers, std::size_t events)
+{
+    sim::SystemConfig config;
+    config.numCores = 2;
+    config.numChannels = 1;
+    config.cycleSkip = cycleSkip;
+    config.intraRunParallel = workers;
+    auto mix = workload::randomMix(config.numCores, 1.0, /*seed=*/99);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
+    spec.scaleToRun(30'000);
+
+    sim::Simulator sim(config, mix, spec, /*seed=*/99);
+    dram::CommandTraceRecorder recorder(events);
+    sim.attachCommandObserver(&recorder);
+    sim.step(30'000);
+    EXPECT_TRUE(recorder.full());
+    return recorder.text();
+}
+
+} // namespace
+
+TEST(IntraParallelCommandTrace, GangMatchesGolden)
+{
+    constexpr std::size_t kEvents = 400;
+    const std::string golden =
+        readFile(std::string(TCMSIM_GOLDEN_DIR) +
+                 "/cmd_trace_frfcfs_seed99.txt");
+    for (bool cycleSkip : {false, true})
+        for (int workers : {2, 3})
+            EXPECT_EQ(commandTrace(cycleSkip, workers, kEvents), golden)
+                << "cycleSkip=" << cycleSkip << " workers=" << workers;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-shard counter plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(IntraParallelCounters, ShardsMergeIntoRunTotals)
+{
+    sim::SystemConfig config = diffConfig(/*cycleSkip=*/true, /*workers=*/2);
+    auto mix = workload::randomMix(config.numCores, 0.5, /*seed=*/7);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
+    spec.scaleToRun(40'000);
+
+    sim::Simulator sim(config, mix, spec, /*seed=*/5);
+    sim.step(40'000);
+
+    const stats::NamedCounters &c = sim.intraParallelStats();
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.label(0), "ctrl.spans");
+    EXPECT_EQ(c.label(1), "ctrl.span.ticks");
+    EXPECT_EQ(c.label(2), "ctrl.cycle.ticks");
+    // A memory-intensive 40k-cycle run must have ticked controllers at
+    // canonical cycles, and the skip loop must have executed at least
+    // one decoupled span. All bumps happened on worker shards; nonzero
+    // totals here prove the barrier merge folded them in.
+    EXPECT_GT(c.count(2), 0u);
+    EXPECT_GT(c.count(0), 0u);
+    EXPECT_GT(c.count(1), 0u);
+}
+
+TEST(IntraParallelCounters, AddFromIsSlotWiseAndResetClears)
+{
+    stats::NamedCounters a({"x", "y"});
+    stats::NamedCounters b({"x", "y"});
+    a.bump(0, 3);
+    b.bump(0, 4);
+    b.bump(1, 9);
+    a.addFrom(b);
+    EXPECT_EQ(a.count(0), 7u);
+    EXPECT_EQ(a.count(1), 9u);
+    EXPECT_EQ(b.count(0), 4u); // source unchanged
+    b.reset();
+    EXPECT_EQ(b.total(), 0u);
+    a.addFrom(b); // adding a zeroed shard is a no-op
+    EXPECT_EQ(a.count(0), 7u);
+    EXPECT_EQ(a.count(1), 9u);
+}
