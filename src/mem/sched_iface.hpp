@@ -218,6 +218,15 @@ class SchedulerPolicy
     /** Pure FCFS ignores row-hit status. */
     virtual bool useRowHit() const { return true; }
 
+    /**
+     * Policy asks for closed-page controllers (auto-precharge once no
+     * other queued request targets the open row) instead of the default
+     * open-page. A construction-time property consulted once when the
+     * simulator builds its controllers — never re-read during the run,
+     * so it needs no rank-epoch discipline.
+     */
+    virtual bool prefersClosedPage() const { return false; }
+
   protected:
     /** Record that ranks (or another knob) may have changed. */
     void bumpRankEpoch() { ++rankEpoch_; }

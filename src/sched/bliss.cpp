@@ -1,0 +1,151 @@
+#include "sched/bliss.hpp"
+
+#include <algorithm>
+
+#include "telemetry/sink.hpp"
+
+namespace tcm::sched {
+
+Bliss::Bliss(const BlissParams &params) : params_(params)
+{
+    nextClearAt_ = params_.clearInterval;
+}
+
+void
+Bliss::configure(int numThreads, int numChannels, int banksPerChannel)
+{
+    SchedulerPolicy::configure(numThreads, numChannels, banksPerChannel);
+    queuedReads_.assign(numChannels, 0);
+    lastServed_.assign(numChannels, kNoThread);
+    streak_.assign(numChannels, 0);
+    blacklisted_.assign(numChannels,
+                        std::vector<std::uint8_t>(numThreads, 0));
+    pendingServed_.clear();
+}
+
+void
+Bliss::onArrival(const Request &req, Cycle)
+{
+    if (!req.isWrite)
+        ++queuedReads_[req.channel];
+}
+
+void
+Bliss::onDepart(const Request &req, Cycle)
+{
+    if (req.isWrite)
+        return; // write drains are bursty by design; only reads count
+    --queuedReads_[req.channel];
+    pendingServed_.push_back(ServedEvent{req.channel, req.thread});
+}
+
+void
+Bliss::tick(Cycle now)
+{
+    bool changed = false;
+
+    // Apply the served-request stream recorded since the last tick, in
+    // delivery order (the deferred-hook replay preserves the serial
+    // (cycle, channel) order, so every execution mode sees the same
+    // stream and produces the same streaks).
+    if (!pendingServed_.empty()) {
+        for (const ServedEvent &ev : pendingServed_) {
+            if (ev.thread == lastServed_[ev.channel]) {
+                ++streak_[ev.channel];
+            } else {
+                lastServed_[ev.channel] = ev.thread;
+                streak_[ev.channel] = 1;
+            }
+            if (streak_[ev.channel] >= params_.blacklistThreshold &&
+                !blacklisted_[ev.channel][ev.thread]) {
+                blacklisted_[ev.channel][ev.thread] = 1;
+                changed = true;
+                if (decisionSink_) {
+                    telemetry::DecisionEvent e;
+                    e.cycle = now;
+                    e.name = "bliss.blacklist";
+                    e.category = "sched";
+                    e.args = {
+                        {"channel",
+                         telemetry::jsonNumber(
+                             static_cast<std::int64_t>(ev.channel))},
+                        {"thread",
+                         telemetry::jsonNumber(
+                             static_cast<std::int64_t>(ev.thread))},
+                        {"streak",
+                         telemetry::jsonNumber(static_cast<std::int64_t>(
+                             streak_[ev.channel]))},
+                    };
+                    decisionSink_->onDecision(std::move(e));
+                }
+            }
+        }
+        pendingServed_.clear();
+    }
+
+    if (now >= nextClearAt_) {
+        nextClearAt_ = now + params_.clearInterval;
+        int cleared = blacklistedCount();
+        if (cleared > 0) {
+            for (auto &perThread : blacklisted_)
+                std::fill(perThread.begin(), perThread.end(),
+                          std::uint8_t{0});
+            changed = true;
+        }
+        // The paper clears the *blacklist* each interval; the streak
+        // counters restart with it so one long pre-boundary run cannot
+        // instantly re-blacklist.
+        std::fill(lastServed_.begin(), lastServed_.end(), kNoThread);
+        std::fill(streak_.begin(), streak_.end(), 0);
+        if (decisionSink_) {
+            telemetry::DecisionEvent e;
+            e.cycle = now;
+            e.name = "bliss.clear";
+            e.category = "sched";
+            e.args = {
+                {"cleared", telemetry::jsonNumber(
+                                static_cast<std::int64_t>(cleared))},
+            };
+            decisionSink_->onDecision(std::move(e));
+        }
+    }
+
+    if (changed)
+        bumpRankEpoch();
+}
+
+Cycle
+Bliss::nextEventAt(Cycle now) const
+{
+    return pendingServed_.empty() ? nextClearAt_ : now;
+}
+
+Cycle
+Bliss::decoupleHorizon(Cycle now) const
+{
+    if (!pendingServed_.empty())
+        return now;
+    Cycle h = nextClearAt_;
+    for (ChannelId ch = 0; ch < numChannels_; ++ch) {
+        if (queuedReads_[ch] > 0)
+            return now; // a departure could arm a blacklist mid-span
+        if (!queues_[ch])
+            continue;
+        Cycle arrival = queues_[ch]->nextArrivalAt();
+        if (arrival != kCycleNever)
+            h = std::min(h, std::max(arrival, now) + 1);
+    }
+    return std::max(h, now);
+}
+
+int
+Bliss::blacklistedCount() const
+{
+    int n = 0;
+    for (const auto &perThread : blacklisted_)
+        for (std::uint8_t b : perThread)
+            n += b;
+    return n;
+}
+
+} // namespace tcm::sched

@@ -154,6 +154,45 @@ table6(const SystemConfig &config, const ExperimentScale &scale, int jobs)
 }
 
 results::ResultsDoc
+zoo(const SystemConfig &config, const ExperimentScale &scale, int jobs)
+{
+    auto t0 = tick();
+    // Same population as fig4 so zoo rows are directly comparable with
+    // the headline grid (per-intensity seeds 2050/2075/2100, baseSeed 1).
+    std::vector<std::vector<workload::ThreadProfile>> workloads;
+    for (double intensity : {0.5, 0.75, 1.0}) {
+        auto set = workload::workloadSet(
+            scale.workloadsPerCategory, config.numCores, intensity,
+            2000 + static_cast<int>(intensity * 100));
+        workloads.insert(workloads.end(), set.begin(), set.end());
+    }
+
+    const std::vector<sched::SchedulerSpec> specs = {
+        sched::SchedulerSpec::frfcfs(),
+        sched::SchedulerSpec::atlasSpec(),
+        sched::SchedulerSpec::tcmSpec(),
+        sched::SchedulerSpec::blissSpec(),
+        sched::SchedulerSpec::ghtSpec(),
+        sched::SchedulerSpec::cpFrfcfsSpec(),
+        sched::SchedulerSpec::tournamentSpec(),
+    };
+
+    AloneIpcCache cache(config, scale.warmup, scale.measure);
+    auto aggs = evaluateMatrix(config, workloads, specs, scale, cache,
+                               /*baseSeed=*/1, jobs);
+
+    results::ResultsDoc doc("zoo", scale);
+    for (const AggregateResult &agg : aggs) {
+        results::Row &row = doc.row(agg.scheduler);
+        row.set("ws", agg.weightedSpeedup.mean());
+        row.set("ms", agg.maxSlowdown.mean());
+        row.set("hs", agg.harmonicSpeedup.mean());
+    }
+    stamp(doc, t0, config);
+    return doc;
+}
+
+results::ResultsDoc
 intraParallel(const SystemConfig &config, const ExperimentScale &scale)
 {
     auto t0 = tick();

@@ -47,6 +47,18 @@ results::ResultsDoc table6(const SystemConfig &config,
                            const ExperimentScale &scale, int jobs = 0);
 
 /**
+ * Scheduler-zoo grid: the paper's headline baselines (FR-FCFS, ATLAS,
+ * TCM) next to the championship ports (BLISS, GHT, FRFCFS-CP) and the
+ * Tournament meta-scheduler, all on the exact fig4 workload population
+ * (equal thirds of 50/75/100%-intensity workloads, base seed 1). One
+ * row per scheduler (display names: "FR-FCFS", "ATLAS", "TCM", "BLISS",
+ * "GHT", "FRFCFS-CP", "Tournament") with metrics ws / ms / hs — the
+ * document behind bench_zoo and the zoo claims.
+ */
+results::ResultsDoc zoo(const SystemConfig &config,
+                        const ExperimentScale &scale, int jobs = 0);
+
+/**
  * Intra-run parallel stepping speedup (the BM_IntraRunParallel
  * measurement): one high-intensity TCM run on the paper's 24-core /
  * 4-channel system, repeated at 1, 2 and 4 worker lanes. One row per

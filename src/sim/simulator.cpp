@@ -85,6 +85,11 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
     if (config_.protocolCheck)
         checker_ = std::make_unique<dram::ProtocolChecker>(config_.timing);
 
+    // Closed-page policies (e.g. FRFCFS-CP) pick their controller row
+    // policy at construction; the probe forwards the preference.
+    if (active->prefersClosedPage())
+        config_.controller.pagePolicy = mem::PagePolicy::Closed;
+
     controllers_.reserve(config_.numChannels);
     for (ChannelId ch = 0; ch < config_.numChannels; ++ch) {
         controllers_.push_back(std::make_unique<mem::MemoryController>(

@@ -113,6 +113,10 @@ class ProbePolicy : public mem::SchedulerPolicy
     Cycle agingThreshold() const override { return inner_->agingThreshold(); }
     bool rowHitAboveRank() const override { return inner_->rowHitAboveRank(); }
     bool useRowHit() const override { return inner_->useRowHit(); }
+    bool prefersClosedPage() const override
+    {
+        return inner_->prefersClosedPage();
+    }
 
     /** Reset probe accumulators (start of the measurement window). */
     void resetProbe(Cycle now) { monitor_.reset(now); }

@@ -92,7 +92,12 @@ INSTANTIATE_TEST_SUITE_P(Recorded, GoldenWorkloadA,
 // and explain the change in the commit.
 // ---------------------------------------------------------------------------
 
-TEST(GoldenCommandTrace, FrFcfsCommandStreamIsBitStable)
+namespace {
+
+/** Record a 400-event command trace under @p spec and diff (or regold,
+ *  with TCMSIM_REGOLD=1) against the golden at @p path. */
+void
+checkCommandTrace(const sched::SchedulerSpec &spec, const std::string &path)
 {
     constexpr std::size_t kEvents = 400;
 
@@ -100,19 +105,16 @@ TEST(GoldenCommandTrace, FrFcfsCommandStreamIsBitStable)
     config.numCores = 2;
     config.numChannels = 1;
     auto mix = workload::randomMix(config.numCores, 1.0, /*seed=*/99);
-    sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
-    spec.scaleToRun(30'000);
+    sched::SchedulerSpec scaled = spec;
+    scaled.scaleToRun(30'000);
 
-    sim::Simulator sim(config, mix, spec, /*seed=*/99);
+    sim::Simulator sim(config, mix, scaled, /*seed=*/99);
     dram::CommandTraceRecorder recorder(kEvents);
     sim.attachCommandObserver(&recorder);
     sim.step(30'000);
     ASSERT_TRUE(recorder.full())
         << "run produced only " << recorder.lines().size() << " of "
         << kEvents << " trace events";
-
-    const std::string path =
-        std::string(TCMSIM_GOLDEN_DIR) + "/cmd_trace_frfcfs_seed99.txt";
 
     if (std::getenv("TCMSIM_REGOLD") != nullptr) {
         std::ofstream out(path);
@@ -134,4 +136,24 @@ TEST(GoldenCommandTrace, FrFcfsCommandStreamIsBitStable)
     for (std::size_t i = 0; i < actual.size(); ++i)
         ASSERT_EQ(expected[i], actual[i])
             << "command stream diverges at event #" << i;
+}
+
+} // namespace
+
+TEST(GoldenCommandTrace, FrFcfsCommandStreamIsBitStable)
+{
+    checkCommandTrace(sched::SchedulerSpec::frfcfs(),
+                      std::string(TCMSIM_GOLDEN_DIR) +
+                          "/cmd_trace_frfcfs_seed99.txt");
+}
+
+// The BLISS trace pins the blacklisting path at per-command granularity:
+// on this 2-thread single-channel run the 4-streak threshold trips
+// repeatedly, so any change to streak accounting, clearing, or the
+// rank flip shifts ACT/column selection and fails the diff.
+TEST(GoldenCommandTrace, BlissCommandStreamIsBitStable)
+{
+    checkCommandTrace(sched::SchedulerSpec::blissSpec(),
+                      std::string(TCMSIM_GOLDEN_DIR) +
+                          "/cmd_trace_bliss_seed99.txt");
 }

@@ -1,16 +1,18 @@
 /**
  * @file
  * Unit tests for the baseline thread-aware schedulers: ATLAS, PAR-BS
- * and STFM.
+ * and STFM — plus the factory's name registry and structured errors.
  */
 
 #include <memory>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "mem/controller.hpp"
 #include "sched/atlas.hpp"
+#include "sched/factory.hpp"
 #include "sched/parbs.hpp"
 #include "sched/stfm.hpp"
 
@@ -290,4 +292,53 @@ TEST(StfmPolicy, IntervalHalvesStatistics)
     double s_before = stfm.slowdownEstimate(0);
     stfm.tick(1000); // halving happens; slowdown ratio is preserved
     EXPECT_NEAR(stfm.slowdownEstimate(0), s_before, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Factory: the name registry and its structured errors
+// ---------------------------------------------------------------------------
+
+TEST(Factory, EveryRegisteredNameConstructs)
+{
+    ASSERT_FALSE(policyNames().empty());
+    for (const std::string &name : policyNames()) {
+        SpecLookup lookup = specByName(name);
+        ASSERT_TRUE(lookup.ok) << name << ": " << lookup.error;
+        auto policy = makeScheduler(lookup.spec, /*seed=*/1);
+        ASSERT_NE(policy, nullptr) << name;
+        EXPECT_STRNE(policy->name(), "") << name;
+        std::string error;
+        EXPECT_NE(makeScheduler(name, /*seed=*/1, &error), nullptr)
+            << name << ": " << error;
+    }
+}
+
+TEST(Factory, UnknownNameReturnsErrorListingVocabulary)
+{
+    SpecLookup lookup = specByName("no-such-policy");
+    EXPECT_FALSE(lookup.ok);
+    EXPECT_NE(lookup.error.find("no-such-policy"), std::string::npos)
+        << lookup.error;
+    // The structured error must name every valid choice, so a caller's
+    // typo message is self-correcting.
+    for (const std::string &name : policyNames())
+        EXPECT_NE(lookup.error.find(name), std::string::npos)
+            << "error does not list '" << name << "': " << lookup.error;
+
+    std::string error;
+    EXPECT_EQ(makeScheduler("no-such-policy", /*seed=*/1, &error), nullptr);
+    EXPECT_EQ(error, lookup.error);
+}
+
+TEST(Factory, TournamentRejectsInvalidCandidates)
+{
+    SchedulerSpec spec = SchedulerSpec::tournamentSpec();
+    spec.tournamentCandidates = {Algo::Tcm, Algo::ParBs};
+    EXPECT_THROW(makeScheduler(spec, 1), std::invalid_argument);
+    spec.tournamentCandidates = {Algo::Tournament};
+    EXPECT_THROW(makeScheduler(spec, 1), std::invalid_argument);
+    spec.tournamentCandidates.clear();
+    EXPECT_THROW(makeScheduler(spec, 1), std::invalid_argument);
+    spec.tournamentCandidates = {Algo::Tcm, Algo::Atlas, Algo::Bliss};
+    EXPECT_NE(makeScheduler(spec, 1), nullptr);
 }

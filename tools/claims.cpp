@@ -1,6 +1,6 @@
 /**
  * @file
- * Paper-claims regression gate. Runs the fig4 / table4 / table6
+ * Paper-claims regression gate. Runs the fig4 / table4 / table6 / zoo
  * experiment grids through the shared drivers (sim/paper_experiments),
  * evaluates the declarative claim registry (sim/claims) against the
  * structured results, and optionally diffs each fresh document against
@@ -248,6 +248,8 @@ main(int argc, char **argv)
         docs.push_back(sim::paper::table4(config, opt.scale));
         std::fprintf(stderr, "claims: running table6 shuffling grid...\n");
         docs.push_back(sim::paper::table6(config, opt.scale, opt.jobs));
+        std::fprintf(stderr, "claims: running scheduler-zoo grid...\n");
+        docs.push_back(sim::paper::zoo(config, opt.scale, opt.jobs));
         std::fprintf(stderr,
                      "claims: running intra-parallel speedup...\n");
         timingDoc = sim::paper::intraParallel(config, opt.scale);

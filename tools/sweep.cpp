@@ -9,7 +9,8 @@
  * Usage:
  *   sweep [options] > results.csv
  *     --schedulers LIST   comma list of frfcfs,fcfs,fqm,stfm,parbs,
- *                         atlas,tcm (default: the paper's five)
+ *                         atlas,tcm,bliss,ght,frfcfs-cp,tournament
+ *                         (default: the paper's five)
  *     --intensity LIST    comma list of fractions (default 0.5,0.75,1.0)
  *     --workloads N       workloads per intensity (default 8)
  *     --cores N           threads per workload (default 24)
@@ -63,20 +64,6 @@ splitCommas(const std::string &s)
         start = comma + 1;
     }
     return out;
-}
-
-bool
-schedulerByName(const std::string &name, sched::SchedulerSpec &out)
-{
-    if (name == "frfcfs") out = sched::SchedulerSpec::frfcfs();
-    else if (name == "fcfs") out = sched::SchedulerSpec::fcfs();
-    else if (name == "fqm") out = sched::SchedulerSpec::fqmSpec();
-    else if (name == "stfm") out = sched::SchedulerSpec::stfmSpec();
-    else if (name == "parbs") out = sched::SchedulerSpec::parbsSpec();
-    else if (name == "atlas") out = sched::SchedulerSpec::atlasSpec();
-    else if (name == "tcm") out = sched::SchedulerSpec::tcmSpec();
-    else return false;
-    return true;
 }
 
 [[noreturn]] void
@@ -160,9 +147,12 @@ main(int argc, char **argv)
     sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
 
     std::vector<sched::SchedulerSpec> specs(schedulerNames.size());
-    for (std::size_t s = 0; s < schedulerNames.size(); ++s)
-        if (!schedulerByName(schedulerNames[s], specs[s]))
-            die("unknown scheduler name");
+    for (std::size_t s = 0; s < schedulerNames.size(); ++s) {
+        sched::SpecLookup lookup = sched::specByName(schedulerNames[s]);
+        if (!lookup.ok)
+            die(lookup.error.c_str());
+        specs[s] = lookup.spec;
+    }
 
     // One (scheduler x workload) matrix per intensity; workload w uses
     // seed + w exactly as the serial loop did.
