@@ -126,6 +126,34 @@ BM_TelemetryOverhead(benchmark::State &state)
 BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
 void
+BM_ProfilerOverhead(benchmark::State &state)
+{
+    // Full-system simulation speed with the self-profiler detached
+    // (Arg 0) vs attached (Arg 1). Detached, every instrumentation site
+    // is a null-pointer branch with no clock read, so Arg 0 must stay
+    // within noise of BM_SimulatorCyclesPerSecond; the Arg 1 delta is
+    // the real cost of phase timers + horizon attribution + regime
+    // counting.
+    const bool on = state.range(0) != 0;
+    sim::SystemConfig config;
+    config.numCores = 8;
+    config.numChannels = 1;
+    auto mix = workload::randomMix(config.numCores, 1.0, 7);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(1'000'000);
+    sim::Simulator sim(config, mix, spec, 1);
+    prof::Profiler profiler;
+    if (on)
+        sim.attachProfiler(&profiler);
+    sim.step(10'000); // warm structures
+
+    for (auto _ : state)
+        sim.step(10'000);
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ProfilerOverhead)->Arg(0)->Arg(1);
+
+void
 BM_MonitorHooks(benchmark::State &state)
 {
     sched::ThreadBankMonitor mon;

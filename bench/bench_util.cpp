@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/numfmt.hpp"
+#include "prof/profiler.hpp"
 
 namespace tcm::bench {
 
@@ -19,6 +20,14 @@ printHeader(const std::string &title, const sim::ExperimentScale &scale)
                 scale.workloadsPerCategory);
     std::printf("(override with TCMSIM_WARMUP / TCMSIM_CYCLES / TCMSIM_WORKLOADS)\n");
     std::printf("==============================================================\n");
+    // Every bench routes its runs through runWorkload, which honors the
+    // TCMSIM_PROFILE knob; surface that on stderr so a profiled run is
+    // visibly profiled while stdout (golden-diffed) stays byte-stable.
+    prof::ProfileConfig pcfg = prof::ProfileConfig::fromEnv();
+    if (pcfg.enabled)
+        std::fprintf(stderr, "bench: simulator self-profile on%s%s\n",
+                     pcfg.dir.empty() ? "" : ", writing to ",
+                     pcfg.dir.c_str());
 }
 
 void

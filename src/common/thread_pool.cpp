@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/env.hpp"
 
@@ -91,7 +92,7 @@ SpinGang::SpinGang(int lanes)
         spinLimit_ = 0;
     workers_.reserve(lanes_ - 1);
     for (int i = 0; i < lanes_ - 1; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 SpinGang::~SpinGang()
@@ -108,12 +109,18 @@ SpinGang::~SpinGang()
 }
 
 void
-SpinGang::drainTasks()
+SpinGang::drainTasks(int lane)
 {
     for (;;) {
         std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
         if (i >= n_)
             return;
+        // Lane timing is opt-in: detached, the claim loop never reads
+        // the clock. Each lane touches only its own slot; the join's
+        // release/acquire edge publishes it to the run() caller.
+        std::chrono::steady_clock::time_point t0;
+        if (laneBusyNs_ != nullptr)
+            t0 = std::chrono::steady_clock::now();
         try {
             (*fn_)(i);
         } catch (...) {
@@ -123,11 +130,19 @@ SpinGang::drainTasks()
                 errorIndex_ = i;
             }
         }
+        if (laneBusyNs_ != nullptr) {
+            auto dt = std::chrono::steady_clock::now() - t0;
+            laneBusyNs_[lane] += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count());
+            if (laneTasks_ != nullptr)
+                ++laneTasks_[lane];
+        }
     }
 }
 
 void
-SpinGang::workerLoop()
+SpinGang::workerLoop(int lane)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -154,7 +169,7 @@ SpinGang::workerLoop()
         if (stop_.load(std::memory_order_acquire))
             return;
         ++seen;
-        drainTasks();
+        drainTasks(lane);
         arrived_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -181,7 +196,7 @@ SpinGang::run(std::size_t n, const std::function<void(std::size_t)> &fn)
         { std::lock_guard<std::mutex> lock(parkMutex_); }
         parkCv_.notify_all();
     }
-    drainTasks(); // the caller is a lane too
+    drainTasks(0); // the caller is a lane too
     // Join edge: wait for every worker, not just every task, so the
     // next run() can safely reuse the job slots.
     const int want = static_cast<int>(workers_.size());

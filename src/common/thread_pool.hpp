@@ -132,9 +132,25 @@ class SpinGang
     /** Run fn(0)..fn(n-1) across the gang; blocks until all complete. */
     void run(std::size_t n, const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Optional per-lane instrumentation: @p busyNs / @p tasks point at
+     * lanes() slots (caller is lane 0, workers 1..lanes()-1). Each lane
+     * adds task-execution nanoseconds and claimed-task counts to its own
+     * slot only; a lane's writes are published to the run() caller by
+     * the join's release/acquire edge, so the owner may read the slots
+     * between runs without synchronization. Null (the default) disables
+     * all timing — the hot claim loop then never touches the clock.
+     */
+    void
+    setLaneProfile(std::uint64_t *busyNs, std::uint64_t *tasks)
+    {
+        laneBusyNs_ = busyNs;
+        laneTasks_ = tasks;
+    }
+
   private:
-    void workerLoop();
-    void drainTasks();
+    void workerLoop(int lane);
+    void drainTasks(int lane);
 
     int lanes_;
     // Busy-spin iterations before backing off to yield()/parking; 0 on
@@ -153,6 +169,10 @@ class SpinGang
     std::atomic<int> arrived_{0};
     std::size_t n_ = 0;
     const std::function<void(std::size_t)> *fn_ = nullptr;
+
+    // Per-lane profile slots (see setLaneProfile); null when detached.
+    std::uint64_t *laneBusyNs_ = nullptr;
+    std::uint64_t *laneTasks_ = nullptr;
 
     // Lowest-index exception wins, decided after the join.
     std::mutex errorMutex_;

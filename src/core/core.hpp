@@ -174,6 +174,19 @@ class Core
         pendingGap_ -= fw * k;
     }
 
+    /**
+     * Regime classifier for a silent span just detected by silentSpan:
+     * true when the head of the window is a stalled miss (dormant
+     * regime), false when the span is plain-instruction streaming.
+     * Pure observer — only the profiler's regime-occupancy counters
+     * consume it; fastForwardSilent leaves the answer unchanged.
+     */
+    bool
+    dormantHead() const
+    {
+        return !window_.empty() && window_.front().plain == 0;
+    }
+
     ThreadId id() const { return id_; }
 
     std::uint64_t instructionsRetired() const { return counters_->instructions; }

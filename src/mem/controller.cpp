@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/profiler.hpp"
 #include "telemetry/sink.hpp"
 
 namespace tcm::mem {
@@ -288,9 +289,14 @@ MemoryController::tryIssue(std::vector<Request> &candidates, Cycle now,
 bool
 MemoryController::tryIssueReads(Cycle now, Cycle &nextPossible)
 {
+    prof::ScopedPhase profScan(prof_ ? &prof_->phases : nullptr,
+                               prof::Phase::ReadScan);
     std::vector<Request> &reads = queue_.reads();
-    if (!soaRankOk_)
+    if (!soaRankOk_) {
+        if (prof_)
+            ++prof_->scan.fallbackScans;
         return tryIssue(reads, now, nextPossible);
+    }
     const std::size_t n = reads.size();
     if (n == 0)
         return false;
@@ -322,6 +328,7 @@ MemoryController::tryIssueReads(Cycle now, Cycle &nextPossible)
     std::uint64_t bestHi = 0;
     std::uint64_t bestLo = 0;
     std::uint64_t bestSeq = 0;
+    std::uint64_t skipped = 0;
     for (std::size_t i = 0; i < n; ++i) {
         std::uint64_t hi = keyHi[i];
         hi |= static_cast<std::uint64_t>(agingOn && arrivedAt[i] <= agedCutoff)
@@ -333,11 +340,15 @@ MemoryController::tryIssueReads(Cycle now, Cycle &nextPossible)
             // Dominance skip: a candidate whose key loses to the best
             // issuable one found so far cannot win the scan, so the
             // (much costlier) canIssue probe is unnecessary.
-            if (hi < bestHi)
+            if (hi < bestHi) {
+                ++skipped;
                 continue;
+            }
             if (hi == bestHi &&
-                (lo < bestLo || (lo == bestLo && reads[i].seq > bestSeq)))
+                (lo < bestLo || (lo == bestLo && reads[i].seq > bestSeq))) {
+                ++skipped;
                 continue;
+            }
         }
         CommandKind cmd = nextCommand(reads[i]);
         if (!channel_.canIssue(cmd, bank[i], now)) {
@@ -353,6 +364,11 @@ MemoryController::tryIssueReads(Cycle now, Cycle &nextPossible)
         bestHi = hi;
         bestLo = lo;
         bestSeq = reads[i].seq;
+    }
+    if (prof_) {
+        ++prof_->scan.soaScans;
+        prof_->scan.readsExamined += n - skipped;
+        prof_->scan.dominanceSkipped += skipped;
     }
     if (best < 0)
         return false;
@@ -431,6 +447,8 @@ MemoryController::issueSelected(std::vector<Request> &candidates,
 void
 MemoryController::tick(Cycle now)
 {
+    prof::ScopedPhase profTick(prof_ ? &prof_->phases : nullptr,
+                               prof::Phase::CtrlTick);
     {
         const std::vector<Request> &arrived = queue_.admitArrivals(now);
         if (!arrived.empty()) {

@@ -20,6 +20,10 @@ namespace tcm::telemetry {
 class LifecycleSink;
 }
 
+namespace tcm::prof {
+struct ControllerShard;
+}
+
 namespace tcm::mem {
 
 /**
@@ -250,6 +254,20 @@ class MemoryController : public QueueAccess
         lifecycle_ = sink;
     }
 
+    /**
+     * Attach a profiler shard (nullptr detaches): tick and read-scan
+     * wall time plus SoA scan-efficiency counters accumulate there. In
+     * gang mode the shard is written by whichever lane steps this
+     * controller and read by the owner after the join barrier; nothing
+     * measured feeds back into simulated state. Detached cost is one
+     * branch per tick/scan.
+     */
+    void
+    setProfile(prof::ControllerShard *shard)
+    {
+        prof_ = shard;
+    }
+
     /** Number of queued + in-flight reads (tests/backpressure checks). */
     std::size_t readLoad() const { return queue_.readLoad(); }
     std::size_t writeLoad() const { return queue_.writeLoad(); }
@@ -333,6 +351,7 @@ class MemoryController : public QueueAccess
     ControllerStats stats_;
     LatencyTracker latency_;
     telemetry::LifecycleSink *lifecycle_ = nullptr;
+    prof::ControllerShard *prof_ = nullptr;
     bool drainingWrites_ = false;
     std::vector<Cycle> refreshDueAt_; //!< per rank, staggered
     Cycle nextTryAt_ = 0; //!< idle fast-path: no scan before this cycle

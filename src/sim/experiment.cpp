@@ -1,5 +1,9 @@
 #include "sim/experiment.hpp"
 
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
 #include "common/env.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
@@ -38,6 +42,16 @@ runWorkload(const SystemConfig &config,
         sim.attachTelemetry(sink.get());
     }
 
+    // Self-profiling: the config wins; otherwise the TCMSIM_PROFILE
+    // environment knob lets any bench or tool profile without new flags.
+    const prof::ProfileConfig pcfg =
+        config.profile.enabled ? config.profile : prof::ProfileConfig::fromEnv();
+    std::unique_ptr<prof::Profiler> profiler;
+    if (pcfg.enabled) {
+        profiler = std::make_unique<prof::Profiler>();
+        sim.attachProfiler(profiler.get());
+    }
+
     sim.run(scale.warmup, scale.measure);
 
     RunResult result;
@@ -58,6 +72,9 @@ runWorkload(const SystemConfig &config,
         if (!tcfg.dir.empty()) {
             // Deterministic name: parallel sweeps write the same file
             // set at any thread count.
+            prof::ScopedPhase serialize(profiler ? &profiler->main()
+                                                 : nullptr,
+                                        prof::Phase::Serialize);
             std::string base = tcfg.dir + "/" + tcfg.filePrefix +
                                spec.name() + "_seed" +
                                std::to_string(seed);
@@ -65,6 +82,27 @@ runWorkload(const SystemConfig &config,
             sink->writeChromeTrace(base + ".trace.json");
         }
         result.telemetry = std::move(sink);
+    }
+    if (profiler) {
+        auto report =
+            std::make_shared<prof::ProfileReport>(profiler->report());
+        if (!pcfg.dir.empty()) {
+            // Same deterministic naming scheme as the telemetry files.
+            // The directory may come straight from TCMSIM_PROFILE, so
+            // create it here rather than demanding every caller does.
+            std::error_code ec;
+            std::filesystem::create_directories(pcfg.dir, ec);
+            std::string path = pcfg.dir + "/" + pcfg.filePrefix +
+                               spec.name() + "_seed" +
+                               std::to_string(seed) + ".profile.json";
+            std::FILE *f = std::fopen(path.c_str(), "w");
+            if (!f)
+                throw std::runtime_error("profile: cannot write " + path);
+            const std::string json = report->toJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+        }
+        result.profile = std::move(report);
     }
     return result;
 }
@@ -118,6 +156,8 @@ evaluateMatrix(const SystemConfig &config,
             aggregates[s].weightedSpeedup.add(r.metrics.weightedSpeedup);
             aggregates[s].maxSlowdown.add(r.metrics.maxSlowdown);
             aggregates[s].harmonicSpeedup.add(r.metrics.harmonicSpeedup);
+            if (r.profile)
+                aggregates[s].profile.merge(*r.profile);
         }
     }
     return aggregates;

@@ -18,6 +18,7 @@
 
 #include "common/running_stat.hpp"
 #include "metrics/metrics.hpp"
+#include "prof/profiler.hpp"
 #include "sched/factory.hpp"
 #include "sim/alone_cache.hpp"
 #include "sim/system_config.hpp"
@@ -61,6 +62,14 @@ struct RunResult
      * runner never shares one across tasks).
      */
     std::shared_ptr<telemetry::TelemetrySink> telemetry;
+
+    /**
+     * The run's self-profile, populated when SystemConfig::profile (or
+     * the TCMSIM_PROFILE fallback) enabled profiling. Excluded from
+     * every results comparison — simulation outputs are bit-identical
+     * with or without it (tests/test_prof).
+     */
+    std::shared_ptr<prof::ProfileReport> profile;
 };
 
 /**
@@ -79,6 +88,10 @@ struct AggregateResult
     RunningStat weightedSpeedup;
     RunningStat maxSlowdown;
     RunningStat harmonicSpeedup;
+
+    /** Merged self-profile across the scheduler's runs (enabled only
+     *  when the runs were profiled); never feeds any metric above. */
+    prof::ProfileReport profile;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/alone_cache.hpp"
@@ -22,14 +23,37 @@ tick()
     return std::chrono::steady_clock::now();
 }
 
-/** Stamp run provenance: elapsed wall time and the worker-lane count. */
+/** Stamp run provenance: elapsed wall time, worker-lane count, host and
+ *  build identity, and (when the runs were profiled) the merged
+ *  self-profile metrics. All of it lives in the "run" block, which the
+ *  claims baseline diff ignores. */
 void
 stamp(results::ResultsDoc &doc, std::chrono::steady_clock::time_point t0,
-      const SystemConfig &config)
+      const SystemConfig &config,
+      const prof::ProfileReport *profile = nullptr)
 {
     doc.wallSeconds =
         std::chrono::duration<double>(tick() - t0).count();
     doc.intraWorkers = config.intraRunParallel;
+    doc.hostThreads =
+        static_cast<int>(std::thread::hardware_concurrency());
+#ifdef TCMSIM_BUILD_TYPE
+    doc.buildType = TCMSIM_BUILD_TYPE;
+#endif
+    doc.cycleSkip = config.cycleSkip ? 1 : 0;
+    if (profile != nullptr && profile->enabled)
+        doc.profileMetrics = profile->provenance();
+}
+
+/** Merged self-profile of one evaluateMatrix grid (disabled when the
+ *  runs were not profiled). */
+prof::ProfileReport
+mergedProfile(const std::vector<AggregateResult> &aggs)
+{
+    prof::ProfileReport merged;
+    for (const AggregateResult &agg : aggs)
+        merged.merge(agg.profile);
+    return merged;
 }
 
 } // namespace
@@ -58,7 +82,8 @@ fig4(const SystemConfig &config, const ExperimentScale &scale, int jobs)
         row.set("ms", agg.maxSlowdown.mean());
         row.set("hs", agg.harmonicSpeedup.mean());
     }
-    stamp(doc, t0, config);
+    prof::ProfileReport merged = mergedProfile(aggs);
+    stamp(doc, t0, config, &merged);
     return doc;
 }
 
@@ -68,10 +93,19 @@ table4(const SystemConfig &config, const ExperimentScale &scale)
     auto t0 = tick();
     results::ResultsDoc doc("table4", scale);
     double worstMpkiErr = 0.0, worstRblErr = 0.0, worstBlpErr = 0.0;
+    // table4 runs Simulator directly (no runWorkload), so it attaches
+    // its own profiler; one per run because attachProfiler re-sizes the
+    // collector to the run's geometry.
+    prof::ProfileReport mergedProf;
     for (const auto &profile : workload::benchmarkTable()) {
         Simulator sim(config, {profile}, sched::SchedulerSpec::frfcfs(), 99,
                       /*enableProbe=*/true);
+        prof::Profiler profiler;
+        if (config.profile.enabled)
+            sim.attachProfiler(&profiler);
         sim.run(scale.warmup, scale.measure * 2);
+        if (config.profile.enabled)
+            mergedProf.merge(profiler.report());
         auto b = sim.behavior(0);
 
         double mpkiErr = profile.mpki > 0.05
@@ -98,7 +132,7 @@ table4(const SystemConfig &config, const ExperimentScale &scale)
     worst.set("mpki_err_pct", worstMpkiErr);
     worst.set("rbl_err", worstRblErr);
     worst.set("blp_err", worstBlpErr);
-    stamp(doc, t0, config);
+    stamp(doc, t0, config, &mergedProf);
     return doc;
 }
 
@@ -149,7 +183,8 @@ table6(const SystemConfig &config, const ExperimentScale &scale, int jobs)
         row.set("ms_avg", aggs[i].maxSlowdown.mean());
         row.set("ms_var", aggs[i].maxSlowdown.variance());
     }
-    stamp(doc, t0, config);
+    prof::ProfileReport merged = mergedProfile(aggs);
+    stamp(doc, t0, config, &merged);
     return doc;
 }
 
@@ -188,7 +223,8 @@ zoo(const SystemConfig &config, const ExperimentScale &scale, int jobs)
         row.set("ms", agg.maxSlowdown.mean());
         row.set("hs", agg.harmonicSpeedup.mean());
     }
-    stamp(doc, t0, config);
+    prof::ProfileReport merged = mergedProfile(aggs);
+    stamp(doc, t0, config, &merged);
     return doc;
 }
 
@@ -205,6 +241,9 @@ intraParallel(const SystemConfig &config, const ExperimentScale &scale)
     sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
     spec.scaleToRun(scale.warmup + scale.measure);
 
+    // Deliberately profiler-free: the rows below are wall-clock timing
+    // claims, and even the profiler's branch-only detached cost has no
+    // business inside the measured region.
     auto timedRun = [&](int workers, std::vector<double> &ipc) {
         SystemConfig cfg = config;
         cfg.cycleSkip = true;

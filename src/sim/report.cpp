@@ -118,6 +118,12 @@ SystemReport::addTelemetry(const telemetry::TelemetrySink &sink)
 }
 
 void
+SystemReport::addProfile(const prof::ProfileReport &report)
+{
+    profile = report;
+}
+
+void
 SystemReport::print(std::FILE *out) const
 {
     std::fprintf(out,
@@ -174,6 +180,7 @@ SystemReport::print(std::FILE *out) const
             static_cast<unsigned long long>(telemetry.lifecycleRecords),
             static_cast<unsigned long long>(telemetry.droppedRecords));
     }
+    profile.print(out); // no-op unless the run carried a profiler
 }
 
 void

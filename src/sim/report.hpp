@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "prof/profiler.hpp"
 #include "sim/simulator.hpp"
 
 namespace tcm::sim {
@@ -94,6 +95,14 @@ struct SystemReport
     TelemetryReport telemetry;
 
     /**
+     * Simulator self-profile section (prof::ProfileReport), filled by
+     * addProfile when the run carried a profiler. Disabled by default,
+     * in which case print() emits nothing for it — the report goldens
+     * are byte-identical for unprofiled runs.
+     */
+    prof::ProfileReport profile;
+
+    /**
      * Gather a report from a finished simulation. @p threadNames
      * labels rows (falls back to "t<N>").
      */
@@ -103,6 +112,9 @@ struct SystemReport
 
     /** Fill the telemetry section from a run's sink. */
     void addTelemetry(const telemetry::TelemetrySink &sink);
+
+    /** Fill the self-profile section from a run's profile report. */
+    void addProfile(const prof::ProfileReport &report);
 
     /** Human-readable tables. */
     void print(std::FILE *out) const;

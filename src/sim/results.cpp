@@ -88,10 +88,29 @@ ResultsDoc::toJson() const
            std::to_string(static_cast<unsigned long long>(measure)) +
            ", \"workloads_per_category\": " +
            std::to_string(workloadsPerCategory) + "},\n";
-    if (wallSeconds > 0.0 || intraWorkers > 0) {
+    if (wallSeconds > 0.0 || intraWorkers > 0 || hostThreads > 0 ||
+        !buildType.empty() || cycleSkip >= 0 || !profileMetrics.empty()) {
         out += "  \"run\": {\"wall_seconds\": " + formatDouble(wallSeconds) +
-               ", \"intra_workers\": " + std::to_string(intraWorkers) +
-               "},\n";
+               ", \"intra_workers\": " + std::to_string(intraWorkers);
+        if (hostThreads > 0)
+            out += ", \"host_threads\": " + std::to_string(hostThreads);
+        if (!buildType.empty())
+            out += ", \"build_type\": " + json::quote(buildType);
+        if (cycleSkip >= 0)
+            out += std::string(", \"cycle_skip\": ") +
+                   (cycleSkip ? "true" : "false");
+        if (!profileMetrics.empty()) {
+            out += ", \"profile\": {";
+            for (std::size_t m = 0; m < profileMetrics.size(); ++m) {
+                if (m)
+                    out += ", ";
+                double v = profileMetrics[m].second;
+                out += json::quote(profileMetrics[m].first) + ": " +
+                       (std::isfinite(v) ? formatDouble(v) : "null");
+            }
+            out += "}";
+        }
+        out += "},\n";
     }
     out += "  \"rows\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -157,6 +176,18 @@ ResultsDoc::fromJson(const std::string &text)
     if (const json::Value *run = root.find("run")) {
         doc.wallSeconds = run->numberOr("wall_seconds", 0.0);
         doc.intraWorkers = static_cast<int>(run->numberOr("intra_workers", 0));
+        doc.hostThreads = static_cast<int>(run->numberOr("host_threads", 0));
+        doc.buildType = run->stringOr("build_type", "");
+        if (const json::Value *cs = run->find("cycle_skip")) {
+            if (cs->kind == json::Value::Kind::Bool)
+                doc.cycleSkip = cs->boolean ? 1 : 0;
+        }
+        if (const json::Value *prof = run->find("profile")) {
+            if (prof->isObject())
+                for (const auto &[k, v] : prof->object)
+                    if (v.isNumber())
+                        doc.profileMetrics.emplace_back(k, v.number);
+        }
     }
 
     const json::Value *rows = root.find("rows");

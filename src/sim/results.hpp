@@ -51,17 +51,27 @@ struct ResultsDoc
     int workloadsPerCategory = 0;
 
     // Run provenance, stamped by the producing harness: how long the
-    // experiment took and how many intra-run worker lanes the simulator
-    // used (SystemConfig::intraRunParallel). Both are descriptive
-    // metadata, not results: claims never reference them and the
-    // baseline diff ignores them, so a doc regenerated on different
-    // hardware or at a different worker count still matches its golden.
-    // Serialized only when set (wallSeconds > 0 or intraWorkers > 0) —
-    // the one deliberate exception to byte-identical re-runs — and
-    // parsed tolerantly, so documents written before these fields
-    // existed load unchanged.
+    // experiment took, how many intra-run worker lanes the simulator
+    // used (SystemConfig::intraRunParallel), the host and build that
+    // produced the document, and — when the run was profiled — the
+    // merged self-profile metrics (prof::ProfileReport::provenance(),
+    // fixed key order). All of it is descriptive metadata, not results:
+    // claims never reference it and the baseline diff ignores the whole
+    // "run" block (tools/claims compares bench, scale, and rows only),
+    // so a doc regenerated on different hardware, at a different worker
+    // count, or with profiling toggled still matches its golden.
+    // Serialized only when any field is set — the one deliberate
+    // exception to byte-identical re-runs — with a schema-stable key
+    // order (wall_seconds, intra_workers, host_threads, build_type,
+    // cycle_skip, profile), and parsed tolerantly, so documents written
+    // before these fields existed load unchanged.
     double wallSeconds = 0.0;
     int intraWorkers = 0;
+    int hostThreads = 0;          //!< std::thread::hardware_concurrency
+    std::string buildType;        //!< CMAKE_BUILD_TYPE of the producer
+    int cycleSkip = -1;           //!< -1 unset, else 0/1 (SystemConfig)
+    /** Flat profiler metrics; empty when the run was not profiled. */
+    std::vector<std::pair<std::string, double>> profileMetrics;
 
     std::vector<Row> rows;
 

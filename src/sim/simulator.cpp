@@ -148,15 +148,26 @@ Simulator::init(std::vector<std::unique_ptr<core::TraceSource>> traces,
                 return;
             }
             // Core lane: controller-free by the span's touch bound, so
-            // it only needs the core's own regime machinery.
-            core::Core &core = *cores_[i - nch];
+            // it only needs the core's own regime machinery. Regime
+            // occupancy lands in per-core profiler slots this lane owns
+            // for the duration of the span (published by the join).
+            const std::size_t coreIdx = i - nch;
+            core::Core &core = *cores_[coreIdx];
             for (Cycle u = spanFrom_; u < spanTo_;) {
                 Cycle span = core.silentSpan(u, spanTo_ - u);
                 if (span > 0) {
                     core.fastForwardSilent(span);
+                    if (prof_)
+                        prof_->addRegime(coreIdx,
+                                         core.dormantHead()
+                                             ? prof::Regime::Dormant
+                                             : prof::Regime::Streaming,
+                                         span);
                     u += span;
                 } else {
                     core.tick(u);
+                    if (prof_)
+                        prof_->addRegime(coreIdx, prof::Regime::Lockstep, 1);
                     ++u;
                 }
             }
@@ -204,6 +215,28 @@ Simulator::attachTelemetry(telemetry::TelemetrySink *sink)
     }
 }
 
+void
+Simulator::attachProfiler(prof::Profiler *profiler)
+{
+    prof_ = profiler;
+    if (prof_ == nullptr) {
+        for (auto &mc : controllers_)
+            mc->setProfile(nullptr);
+        if (gang_)
+            gang_->setLaneProfile(nullptr, nullptr);
+        return;
+    }
+    prof_->configure(numThreads(), config_.numChannels,
+                     gang_ ? gang_->lanes() : 1);
+    for (ChannelId ch = 0; ch < config_.numChannels; ++ch)
+        controllers_[ch]->setProfile(prof_->controllerShard(ch));
+    // Gang lanes time their claimed tasks into per-lane slots; the
+    // workers pick the pointers up at the next fork edge (epoch
+    // release/acquire), so attaching before stepping is race-free.
+    if (gang_)
+        gang_->setLaneProfile(prof_->laneBusyNs(), prof_->laneTasks());
+}
+
 std::vector<telemetry::ThreadGauges>
 Simulator::threadGauges()
 {
@@ -248,7 +281,18 @@ Simulator::channelGauges() const
 void
 Simulator::sampleTelemetry()
 {
+    prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                            prof::Phase::Telemetry);
     sampler_->sample(now_, threadGauges(), channelGauges(), *telemetry_);
+    if (prof_) {
+        // Cumulative simulator-side sample, rendered as the "simulator"
+        // lane in the Chrome trace (the JSONL stream is untouched —
+        // its bytes are part of the bit-identity contract).
+        prof::Profiler::Pulse p = prof_->pulse();
+        telemetry_->addSimulatorSample(
+            telemetry::SimulatorSample{now_, p.wallMs, p.skips,
+                                       p.skippedCycles});
+    }
     telemetrySampleAt_ = now_ + telemetry_->config().sampleInterval;
 }
 
@@ -256,7 +300,11 @@ void
 Simulator::executeCycle(Cycle now, mem::SchedulerPolicy *active,
                         Cycle regimeCap)
 {
-    active->tick(now);
+    {
+        prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                prof::Phase::SchedTick);
+        active->tick(now);
+    }
     for (auto &mc : controllers_) {
         mc->tick(now);
         auto &comps = mc->completions();
@@ -270,40 +318,71 @@ Simulator::executeCycle(Cycle now, mem::SchedulerPolicy *active,
             comps.clear();
         }
     }
-    if (regimeCap > 0) {
-        // Cycle-skip mode: cores provably inside a silent regime take
-        // the O(1) closed form; the regime test runs after completions
-        // were delivered, so a just-woken core correctly falls out of
-        // the dormant regime and takes the full tick. Cached spans
-        // survive executed cycles: a regime depends only on the core's
-        // own state, which only a full tick or a completion (reset
-        // above) can disturb.
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
-            if (coreSpan_[i] == 0)
-                coreSpan_[i] = cores_[i]->silentSpan(now, regimeCap);
-            if (coreSpan_[i] > 0) {
-                cores_[i]->fastForwardSilent(1);
-                --coreSpan_[i];
-            } else {
+    {
+        prof::ScopedPhase coreTimer(prof_ ? &prof_->main() : nullptr,
+                                    prof::Phase::CoreTick);
+        if (regimeCap > 0) {
+            // Cycle-skip mode: cores provably inside a silent regime
+            // take the O(1) closed form; the regime test runs after
+            // completions were delivered, so a just-woken core correctly
+            // falls out of the dormant regime and takes the full tick.
+            // Cached spans survive executed cycles: a regime depends
+            // only on the core's own state, which only a full tick or a
+            // completion (reset above) can disturb.
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                if (coreSpan_[i] == 0)
+                    coreSpan_[i] = cores_[i]->silentSpan(now, regimeCap);
+                if (coreSpan_[i] > 0) {
+                    cores_[i]->fastForwardSilent(1);
+                    --coreSpan_[i];
+                    if (prof_)
+                        prof_->addRegime(i,
+                                         cores_[i]->dormantHead()
+                                             ? prof::Regime::Dormant
+                                             : prof::Regime::Streaming,
+                                         1);
+                } else {
+                    cores_[i]->tick(now);
+                    if (prof_)
+                        prof_->addRegime(i, prof::Regime::Lockstep, 1);
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
                 cores_[i]->tick(now);
+                if (prof_)
+                    prof_->addRegime(i, prof::Regime::Lockstep, 1);
             }
         }
-    } else {
-        for (auto &core : cores_)
-            core->tick(now);
     }
     if (now >= telemetrySampleAt_)
         sampleTelemetry();
 }
 
 Cycle
-Simulator::horizonAt(Cycle now, Cycle end,
-                     const mem::SchedulerPolicy *active) const
+Simulator::horizonAt(Cycle now, Cycle end, const mem::SchedulerPolicy *active,
+                     prof::HorizonSource &src) const
 {
-    Cycle h = std::min(active->nextEventAt(now), telemetrySampleAt_);
-    for (const auto &mc : controllers_)
-        h = std::min(h, mc->nextEventAt(now));
-    return std::clamp(h, now, end);
+    // Value-identical to min-of-everything-then-clamp; the source
+    // tracking mirrors std::min's tie behavior (first listed wins).
+    Cycle h = active->nextEventAt(now);
+    src = prof::HorizonSource::Scheduler;
+    if (telemetrySampleAt_ < h) {
+        h = telemetrySampleAt_;
+        src = prof::HorizonSource::Telemetry;
+    }
+    for (const auto &mc : controllers_) {
+        const Cycle m = mc->nextEventAt(now);
+        if (m < h) {
+            h = m;
+            src = prof::HorizonSource::Controller;
+        }
+    }
+    if (h > end) {
+        h = end;
+        src = prof::HorizonSource::End;
+    }
+    return h < now ? now : h;
 }
 
 void
@@ -341,7 +420,10 @@ Simulator::step(Cycle cycles)
         ++now_;
         if (now_ >= end)
             break;
-        const Cycle h = horizonAt(now_, end, active);
+        prof::HorizonSource hsrc = prof::HorizonSource::Scheduler;
+        const Cycle h = horizonAt(now_, end, active, hsrc);
+        prof::ScopedPhase coreTimer(prof_ ? &prof_->main() : nullptr,
+                                    prof::Phase::CoreTick);
         while (now_ < h) {
             // Refresh expired spans; cores untouched since their span
             // was computed keep the remainder (no completion can have
@@ -362,6 +444,20 @@ Simulator::step(Cycle cycles)
                 for (std::size_t i = 0; i < n; ++i) {
                     cores_[i]->fastForwardSilent(k);
                     coreSpan_[i] -= k;
+                }
+                if (prof_) {
+                    // Attribute the realized jump: a jump cut short of
+                    // the horizon was bounded by a core regime ending.
+                    prof_->recordSkip(now_ + k == h
+                                          ? hsrc
+                                          : prof::HorizonSource::Core,
+                                      k);
+                    for (std::size_t i = 0; i < n; ++i)
+                        prof_->addRegime(i,
+                                         cores_[i]->dormantHead()
+                                             ? prof::Regime::Dormant
+                                             : prof::Regime::Streaming,
+                                         k);
                 }
                 now_ += k;
                 continue;
@@ -385,8 +481,16 @@ Simulator::step(Cycle cycles)
                 if (coreSpan_[i] > 0) {
                     cores_[i]->fastForwardSilent(1);
                     --coreSpan_[i];
+                    if (prof_)
+                        prof_->addRegime(i,
+                                         cores_[i]->dormantHead()
+                                             ? prof::Regime::Dormant
+                                             : prof::Regime::Streaming,
+                                         1);
                 } else {
                     cores_[i]->tick(now_);
+                    if (prof_)
+                        prof_->addRegime(i, prof::Regime::Lockstep, 1);
                 }
             }
             ++now_;
@@ -495,16 +599,28 @@ void
 Simulator::gangExecuteCycle(Cycle now, mem::SchedulerPolicy *active,
                             Cycle regimeCap)
 {
-    active->tick(now);
+    {
+        prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                prof::Phase::SchedTick);
+        active->tick(now);
+    }
     for (auto &mc : controllers_)
         mc->beginDeferred();
     spanCycleMode_ = true;
     spanFrom_ = now;
-    gang_->run(controllers_.size(), gangTask_);
+    {
+        prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                prof::Phase::GangRun);
+        gang_->run(controllers_.size(), gangTask_);
+    }
     for (auto &mc : controllers_)
         mc->endDeferred();
     mergeShards();
-    replayDeferred(active);
+    {
+        prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                prof::Phase::Replay);
+        replayDeferred(active);
+    }
     for (auto &mc : controllers_) {
         auto &comps = mc->completions();
         for (const auto &c : comps)
@@ -514,16 +630,32 @@ Simulator::gangExecuteCycle(Cycle now, mem::SchedulerPolicy *active,
     // Cores, in the same regime form as executeCycle — but with the
     // regime probed fresh each cycle instead of cached in coreSpan_
     // (decoupled spans advance cores behind the cache's back).
-    if (regimeCap > 0) {
-        for (auto &core : cores_) {
-            if (core->silentSpan(now, regimeCap) > 0)
-                core->fastForwardSilent(1);
-            else
-                core->tick(now);
+    {
+        prof::ScopedPhase coreTimer(prof_ ? &prof_->main() : nullptr,
+                                    prof::Phase::CoreTick);
+        if (regimeCap > 0) {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                if (cores_[i]->silentSpan(now, regimeCap) > 0) {
+                    cores_[i]->fastForwardSilent(1);
+                    if (prof_)
+                        prof_->addRegime(i,
+                                         cores_[i]->dormantHead()
+                                             ? prof::Regime::Dormant
+                                             : prof::Regime::Streaming,
+                                         1);
+                } else {
+                    cores_[i]->tick(now);
+                    if (prof_)
+                        prof_->addRegime(i, prof::Regime::Lockstep, 1);
+                }
+            }
+        } else {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                cores_[i]->tick(now);
+                if (prof_)
+                    prof_->addRegime(i, prof::Regime::Lockstep, 1);
+            }
         }
-    } else {
-        for (auto &core : cores_)
-            core->tick(now);
     }
     if (now >= telemetrySampleAt_)
         sampleTelemetry();
@@ -563,29 +695,53 @@ Simulator::stepParallel(Cycle cycles, mem::SchedulerPolicy *active)
         //  - each core's earliest possible memory touch (a core that
         //    could reach a memory access must tick at an executed cycle,
         //    in canonical order against live controller state).
-        Cycle h = std::min(active->decoupleHorizon(now_),
-                           telemetrySampleAt_);
-        h = std::min(h, end);
+        prof::HorizonSource hsrc = prof::HorizonSource::Scheduler;
+        Cycle h = active->decoupleHorizon(now_);
+        if (telemetrySampleAt_ < h) {
+            h = telemetrySampleAt_;
+            hsrc = prof::HorizonSource::Telemetry;
+        }
+        if (end < h) {
+            h = end;
+            hsrc = prof::HorizonSource::End;
+        }
         bool anyReads = false;
         for (auto &mc : controllers_)
             anyReads = anyReads || mc->readLoad() > 0;
-        if (anyReads)
-            h = std::min(h, now_ + completionLag_);
-        for (auto &core : cores_)
-            h = std::min(h, core->earliestMemTouchBound(now_));
+        if (anyReads && now_ + completionLag_ < h) {
+            h = now_ + completionLag_;
+            hsrc = prof::HorizonSource::Controller;
+        }
+        for (auto &core : cores_) {
+            const Cycle b = core->earliestMemTouchBound(now_);
+            if (b < h) {
+                h = b;
+                hsrc = prof::HorizonSource::Core;
+            }
+        }
         if (h <= now_)
             continue; // next iteration executes a canonical gang cycle
+        if (prof_)
+            prof_->recordSkip(hsrc, h - now_);
 
         for (auto &mc : controllers_)
             mc->beginDeferred();
         spanCycleMode_ = false;
         spanFrom_ = now_;
         spanTo_ = h;
-        gang_->run(controllers_.size() + cores_.size(), gangTask_);
+        {
+            prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                    prof::Phase::GangRun);
+            gang_->run(controllers_.size() + cores_.size(), gangTask_);
+        }
         for (auto &mc : controllers_)
             mc->endDeferred();
         mergeShards();
-        replayDeferred(active);
+        {
+            prof::ScopedPhase timer(prof_ ? &prof_->main() : nullptr,
+                                    prof::Phase::Replay);
+            replayDeferred(active);
+        }
         for (auto &mc : controllers_) {
             auto &comps = mc->completions();
             for (const auto &c : comps)

@@ -14,6 +14,7 @@
 #include "dram/energy.hpp"
 #include "dram/protocol_checker.hpp"
 #include "mem/controller.hpp"
+#include "prof/profiler.hpp"
 #include "stats/counters.hpp"
 #include "sched/factory.hpp"
 #include "sched/tcm/monitor.hpp"
@@ -241,6 +242,23 @@ class Simulator
     bool hasTelemetry() const { return telemetry_ != nullptr; }
 
     /**
+     * Attach a self-profiler (nullptr detaches): wall-clock phase
+     * timers, cycle-skip horizon attribution, per-core regime occupancy
+     * and gang-lane imbalance accumulate into it. The profiler observes
+     * the *simulator*, never the simulated system — nothing it measures
+     * feeds back into simulated state, so results are bit-identical
+     * attached or detached (tests/test_prof). The profiler must outlive
+     * the Simulator; call before stepping. When a telemetry sink with
+     * interval sampling is also attached, each sample point additionally
+     * pushes a cumulative "simulator" sample rendered as its own lane in
+     * the Chrome trace output.
+     */
+    void attachProfiler(prof::Profiler *profiler);
+
+    /** True when attachProfiler was called. */
+    bool hasProfiler() const { return prof_ != nullptr; }
+
+    /**
      * The protocol auditor, present when SystemConfig::protocolCheck was
      * set. Call its finalize(now()) once the run is over, then read the
      * verdict.
@@ -280,10 +298,13 @@ class Simulator
     /**
      * Earliest cycle >= @p now at which any component other than a core
      * could act (conservative minimum over scheduler, telemetry clock,
-     * and every controller), clamped to [@p now, @p end].
+     * and every controller), clamped to [@p now, @p end]. @p src is set
+     * to which subsystem's horizon won (ties keep the earlier-listed
+     * source; a low clamp keeps the cutting source) — profiler
+     * attribution only, never consulted by simulation logic.
      */
-    Cycle horizonAt(Cycle now, Cycle end,
-                    const mem::SchedulerPolicy *active) const;
+    Cycle horizonAt(Cycle now, Cycle end, const mem::SchedulerPolicy *active,
+                    prof::HorizonSource &src) const;
 
     // -- intra-run parallel driver (config_.intraRunParallel > 1) -----------
 
@@ -330,6 +351,7 @@ class Simulator
     telemetry::TelemetrySink *telemetry_ = nullptr;
     std::unique_ptr<telemetry::IntervalSampler> sampler_;
     Cycle telemetrySampleAt_ = kCycleNever;
+    prof::Profiler *prof_ = nullptr;
 
     Cycle now_ = 0;
     Cycle measureStart_ = 0;

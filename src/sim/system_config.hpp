@@ -10,6 +10,7 @@
 #include "core/core.hpp"
 #include "dram/timing.hpp"
 #include "mem/controller.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/synthetic_trace.hpp"
 
@@ -49,6 +50,17 @@ struct SystemConfig
      * path stays observer-free and results are bit-identical either way.
      */
     telemetry::TelemetryConfig telemetry;
+
+    /**
+     * Simulator self-profiling (tcm::prof): wall-clock phase timers,
+     * cycle-skip horizon attribution, regime occupancy, scan efficiency
+     * and gang imbalance, reported through SystemReport and the
+     * ResultsDoc run-provenance block. Off by default; when off,
+     * runWorkload falls back to the TCMSIM_PROFILE environment knob.
+     * Purely an observer of the simulator — results are bit-identical
+     * either way (tests/test_prof).
+     */
+    prof::ProfileConfig profile;
 
     /**
      * Event-horizon simulation kernel: Simulator::step advances time to

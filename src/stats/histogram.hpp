@@ -40,8 +40,24 @@ class Histogram
     double max() const { return count_ ? max_ : 0.0; }
 
     /**
-     * Approximate p-th percentile (p in [0,1]). Returns 0 when empty.
-     * Values in the overflow bucket report the observed maximum.
+     * Approximate p-th percentile. Interpolates linearly within the
+     * bucket containing the target rank, then clamps to the observed
+     * [min(), max()] so a sparsely filled bucket can never report a
+     * value outside what was actually added.
+     *
+     * Edge-case contract (relied on by reporting code, locked by
+     * tests/test_stats):
+     * - Empty histogram: returns 0.0 for every p.
+     * - @p p is clamped to [0, 1]; out-of-range arguments are not an
+     *   error.
+     * - p == 0 resolves inside the first non-empty bucket and the
+     *   min-clamp makes it report exactly min().
+     * - p == 1 reports max() exactly — either via the overflow bucket
+     *   or the max-clamp.
+     * - Any percentile landing in the overflow bucket (values beyond
+     *   the last bound) reports the observed maximum: there is no upper
+     *   bound to interpolate toward, and max() is the only honest
+     *   answer.
      */
     double percentile(double p) const;
 

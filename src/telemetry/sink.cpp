@@ -138,7 +138,8 @@ TelemetrySink::TelemetrySink(const TelemetryConfig &config)
     : config_(config),
       threadSamples_(config.maxSamples),
       channelSamples_(config.maxSamples),
-      events_(config.maxEvents)
+      events_(config.maxEvents),
+      simulatorSamples_(config.maxSamples)
 {
 }
 
@@ -152,6 +153,12 @@ void
 TelemetrySink::addChannelSample(const ChannelSample &sample)
 {
     channelSamples_.push(sample);
+}
+
+void
+TelemetrySink::addSimulatorSample(const SimulatorSample &sample)
+{
+    simulatorSamples_.push(sample);
 }
 
 void
@@ -370,6 +377,33 @@ TelemetrySink::writeChromeTrace(std::FILE *out) const
                          jsonNumber(s.rowHitRate).c_str());
         std::fprintf(out, "}}");
     });
+
+    // The simulator's self-observation lane (tid 1): host wall clock
+    // and cycle-skip progress from the attached profiler. Chrome-trace
+    // only — the JSONL stream never carries these (bit-identity).
+    if (!simulatorSamples_.empty()) {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                     "\"tid\":1,\"args\":{\"name\":\"simulator\"}}");
+        simulatorSamples_.forEach([&](const SimulatorSample &s) {
+            sep();
+            std::fprintf(out,
+                         "{\"name\":\"sim.wall_ms\",\"ph\":\"C\",\"pid\":0,"
+                         "\"tid\":1,\"ts\":%" PRIu64
+                         ",\"args\":{\"wall_ms\":%s}}",
+                         static_cast<std::uint64_t>(s.cycle),
+                         jsonNumber(s.wallMs).c_str());
+            sep();
+            std::fprintf(out,
+                         "{\"name\":\"sim.skip\",\"ph\":\"C\",\"pid\":0,"
+                         "\"tid\":1,\"ts\":%" PRIu64
+                         ",\"args\":{\"skips\":%" PRIu64
+                         ",\"skipped_cycles\":%" PRIu64 "}}",
+                         static_cast<std::uint64_t>(s.cycle), s.skips,
+                         s.skippedCycles);
+        });
+    }
 
     events_.forEach([&](const DecisionEvent &e) {
         sep();

@@ -91,6 +91,14 @@ class TelemetrySink : public DecisionSink, public LifecycleSink
     void addThreadSample(const ThreadSample &sample);
     void addChannelSample(const ChannelSample &sample);
 
+    /**
+     * Profiler self-observation sample (simulator wall clock / skip
+     * progress). Rendered only in the Chrome trace "simulator" lane;
+     * deliberately excluded from writeJsonl and droppedRecords() so the
+     * JSONL bytes stay identical with and without a profiler attached.
+     */
+    void addSimulatorSample(const SimulatorSample &sample);
+
     void onDecision(DecisionEvent event) override;
 
     void recordLifecycle(ThreadId thread, Cycle queueing,
@@ -101,6 +109,10 @@ class TelemetrySink : public DecisionSink, public LifecycleSink
     const RingBuffer<ThreadSample> &threadSamples() const { return threadSamples_; }
     const RingBuffer<ChannelSample> &channelSamples() const { return channelSamples_; }
     const RingBuffer<DecisionEvent> &events() const { return events_; }
+    const RingBuffer<SimulatorSample> &simulatorSamples() const
+    {
+        return simulatorSamples_;
+    }
 
     /** Newest retained event named @p name, or nullptr. */
     const DecisionEvent *lastEvent(const std::string &name) const;
@@ -153,6 +165,7 @@ class TelemetrySink : public DecisionSink, public LifecycleSink
     RingBuffer<ThreadSample> threadSamples_;
     RingBuffer<ChannelSample> channelSamples_;
     RingBuffer<DecisionEvent> events_;
+    RingBuffer<SimulatorSample> simulatorSamples_;
     std::vector<ThreadLifecycle> lifecycles_;
     std::uint64_t lifecycleRecords_ = 0;
 };

@@ -104,6 +104,22 @@ struct ChannelSample
 };
 
 /**
+ * One self-observation sample from the simulator's own profiler
+ * (tcm::prof): cumulative host wall-clock milliseconds and cycle-skip
+ * progress at a simulated cycle. Emitted only when a Profiler is
+ * attached alongside telemetry, and serialized exclusively into the
+ * Chrome trace's "simulator" lane — the JSONL byte stream is part of
+ * the bit-identity contract and never carries these.
+ */
+struct SimulatorSample
+{
+    Cycle cycle = 0;
+    double wallMs = 0.0;            //!< host wall clock since attach
+    std::uint64_t skips = 0;        //!< cumulative horizon jumps taken
+    std::uint64_t skippedCycles = 0; //!< cumulative cycles jumped over
+};
+
+/**
  * One scheduler-decision event. `args` carries (key, value) pairs whose
  * values are already JSON-encoded text (see the json* helpers below),
  * so serialization is a string join and tests can introspect values

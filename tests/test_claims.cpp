@@ -305,3 +305,77 @@ TEST(Diff, ScaleMismatchIsReported)
     ASSERT_FALSE(lines.empty());
     EXPECT_NE(lines[0].find("scale"), std::string::npos);
 }
+
+TEST(Diff, RunProvenanceIsNeverDiffed)
+{
+    // The "run" block records who/how (wall time, worker count, host
+    // threads, build type, kernel, self-profile) — facts about the
+    // machine that produced the document, not about the simulated
+    // system. Two docs may disagree on every one of them and still
+    // match: only bench identity, scale, and result rows are compared,
+    // so CI baselines recorded on different hardware or with --profile
+    // never fail the gate.
+    results::ResultsDoc fresh = sampleDoc();
+    results::ResultsDoc base = sampleDoc();
+    fresh.wallSeconds = 12.5;
+    base.wallSeconds = 900.0;
+    fresh.intraWorkers = 4;
+    base.intraWorkers = 1;
+    fresh.hostThreads = 64;
+    base.hostThreads = 2;
+    fresh.buildType = "Release";
+    base.buildType = "Debug";
+    fresh.cycleSkip = 1;
+    base.cycleSkip = 0;
+    fresh.profileMetrics = {{"ctrl_tick_ms", 123.0}, {"skips", 7.0}};
+    base.profileMetrics = {{"ctrl_tick_ms", 99999.0}};
+    EXPECT_TRUE(claims::diff(fresh, base, 0.02, 0.02).empty());
+    EXPECT_TRUE(claims::diff(base, fresh, 0.02, 0.02).empty());
+}
+
+TEST(ResultsDoc, RunProvenanceRoundTripsWithStableKeyOrder)
+{
+    results::ResultsDoc doc = sampleDoc();
+    doc.wallSeconds = 3.25;
+    doc.intraWorkers = 4;
+    doc.hostThreads = 16;
+    doc.buildType = "Release";
+    doc.cycleSkip = 1;
+    doc.profileMetrics = {{"ctrl_tick_ms", 12.5}, {"skips", 42.0}};
+
+    std::string json = doc.toJson();
+    // Schema-stable order inside the run block, so committed baselines
+    // do not churn when regenerated.
+    std::size_t pWall = json.find("\"wall_seconds\"");
+    std::size_t pWorkers = json.find("\"intra_workers\"");
+    std::size_t pHost = json.find("\"host_threads\"");
+    std::size_t pBuild = json.find("\"build_type\"");
+    std::size_t pSkip = json.find("\"cycle_skip\"");
+    std::size_t pProf = json.find("\"profile\"");
+    ASSERT_NE(pWall, std::string::npos);
+    ASSERT_NE(pWorkers, std::string::npos);
+    ASSERT_NE(pHost, std::string::npos);
+    ASSERT_NE(pBuild, std::string::npos);
+    ASSERT_NE(pSkip, std::string::npos);
+    ASSERT_NE(pProf, std::string::npos);
+    EXPECT_LT(pWall, pWorkers);
+    EXPECT_LT(pWorkers, pHost);
+    EXPECT_LT(pHost, pBuild);
+    EXPECT_LT(pBuild, pSkip);
+    EXPECT_LT(pSkip, pProf);
+    EXPECT_NE(json.find("\"cycle_skip\": true"), std::string::npos);
+
+    results::ResultsDoc back = results::ResultsDoc::fromJson(json);
+    EXPECT_EQ(back.hostThreads, 16);
+    EXPECT_EQ(back.buildType, "Release");
+    EXPECT_EQ(back.cycleSkip, 1);
+    ASSERT_EQ(back.profileMetrics.size(), 2u);
+    EXPECT_EQ(back.profileMetrics[0].first, "ctrl_tick_ms");
+    EXPECT_EQ(back.profileMetrics[0].second, 12.5);
+    EXPECT_EQ(back.profileMetrics[1].first, "skips");
+    EXPECT_EQ(back.profileMetrics[1].second, 42.0);
+
+    // A document with no provenance at all emits no run block.
+    results::ResultsDoc bare = sampleDoc();
+    EXPECT_EQ(bare.toJson().find("\"run\""), std::string::npos);
+}

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "dram/observer.hpp"
+#include "prof/profiler.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counters.hpp"
@@ -248,4 +249,61 @@ TEST(IntraParallelCounters, AddFromIsSlotWiseAndResetClears)
     a.addFrom(b); // adding a zeroed shard is a no-op
     EXPECT_EQ(a.count(0), 7u);
     EXPECT_EQ(a.count(1), 9u);
+}
+
+TEST(IntraParallelCounters, ProfilerShardsMergeIdenticallyAcrossLaneCounts)
+{
+    // The self-profiler's deterministic counters (read-scan work, core
+    // regime occupancy, skip totals) are accumulated on per-channel and
+    // per-lane shards under the gang and folded together in report().
+    // The simulation is bit-identical across lane counts, so those
+    // counter totals must be too: any divergence between w2 and w4
+    // means a shard was lost, double-merged, or raced.
+    auto profiled = [](int workers) {
+        sim::SystemConfig config = diffConfig(/*cycleSkip=*/true, workers);
+        auto mix = workload::randomMix(config.numCores, 0.5, /*seed=*/7);
+        sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+        spec.scaleToRun(40'000);
+        sim::Simulator sim(config, mix, spec, /*seed=*/5);
+        prof::Profiler profiler;
+        sim.attachProfiler(&profiler);
+        sim.step(40'000);
+        return profiler.report();
+    };
+
+    prof::ProfileReport w2 = profiled(2);
+    prof::ProfileReport w4 = profiled(4);
+
+    EXPECT_GT(w2.scan.soaScans + w2.scan.fallbackScans, 0u);
+    EXPECT_EQ(w2.scan.soaScans, w4.scan.soaScans);
+    EXPECT_EQ(w2.scan.readsExamined, w4.scan.readsExamined);
+    EXPECT_EQ(w2.scan.dominanceSkipped, w4.scan.dominanceSkipped);
+    EXPECT_EQ(w2.scan.fallbackScans, w4.scan.fallbackScans);
+
+    ASSERT_EQ(w2.coreRegimes.size(), w4.coreRegimes.size());
+    for (std::size_t core = 0; core < w2.coreRegimes.size(); ++core) {
+        EXPECT_EQ(w2.coreRegimes[core], w4.coreRegimes[core])
+            << "core " << core;
+        std::uint64_t total = 0;
+        for (std::uint64_t c : w2.coreRegimes[core])
+            total += c;
+        EXPECT_EQ(total, 40'000u) << "core " << core;
+    }
+
+    EXPECT_EQ(w2.totalSkips(), w4.totalSkips());
+    EXPECT_EQ(w2.totalSkippedCycles(), w4.totalSkippedCycles());
+
+    // Wall-clock shards are nondeterministic by nature, but their call
+    // counts are not: the same controller ticks ran either way.
+    EXPECT_EQ(w2.phaseCalls[static_cast<int>(prof::Phase::CtrlTick)],
+              w4.phaseCalls[static_cast<int>(prof::Phase::CtrlTick)]);
+
+    // Lane vectors must be sized to each gang, with all lanes reporting.
+    EXPECT_EQ(w2.gangLanes, 2);
+    EXPECT_EQ(w4.gangLanes, 4);
+    ASSERT_EQ(w4.laneTasks.size(), 4u);
+    std::uint64_t tasks = 0;
+    for (std::uint64_t t : w4.laneTasks)
+        tasks += t;
+    EXPECT_GT(tasks, 0u);
 }

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Observer-purity and reporting tests for the simulator self-profiler
+ * (tcm::prof). The load-bearing contract: attaching a profiler changes
+ * NOTHING the simulation produces — every RunResult field, every
+ * telemetry JSONL byte, and the golden DRAM command trace are
+ * bit-identical with the profiler on or off, across both execution
+ * kernels (per-cycle oracle and cycle-skip) and every worker-lane
+ * count. The profiler may read the wall clock; the simulation may not.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dram/observer.hpp"
+#include "prof/profiler.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mixes.hpp"
+
+using namespace tcm;
+
+namespace {
+
+/** Small but contended: enough threads and channels for real scan and
+ *  skip activity, fast enough for a 2-kernel x 3-worker matrix. */
+sim::SystemConfig
+profConfig(bool cycleSkip, int workers, bool profiled)
+{
+    sim::SystemConfig config;
+    config.numCores = 6;
+    config.numChannels = 2;
+    config.cycleSkip = cycleSkip;
+    config.intraRunParallel = workers;
+    config.telemetry.enabled = true;
+    config.telemetry.sampleInterval = 5'000;
+    config.profile.enabled = profiled;
+    return config;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Serialize a run's telemetry to JSONL and return the bytes. */
+std::string
+telemetryBytes(const sim::RunResult &r, const std::string &tag)
+{
+    EXPECT_TRUE(r.telemetry != nullptr);
+    std::filesystem::path path = std::filesystem::temp_directory_path() /
+                                 ("tcmsim_prof_" + tag + ".jsonl");
+    r.telemetry->writeJsonl(path.string());
+    std::string bytes = readFile(path.string());
+    std::filesystem::remove(path);
+    return bytes;
+}
+
+sim::RunResult
+runAt(const sched::SchedulerSpec &spec, bool cycleSkip, int workers,
+      bool profiled, const sim::ExperimentScale &scale,
+      const std::vector<workload::ThreadProfile> &mix)
+{
+    sim::SystemConfig cfg = profConfig(cycleSkip, workers, profiled);
+    sim::AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    return sim::runWorkload(cfg, mix, spec, scale, cache, /*seed=*/13);
+}
+
+void
+expectIdentical(const sim::RunResult &plain, const sim::RunResult &prof,
+                const std::string &tag)
+{
+    ASSERT_EQ(plain.ipcShared.size(), prof.ipcShared.size());
+    for (std::size_t t = 0; t < plain.ipcShared.size(); ++t) {
+        EXPECT_EQ(plain.ipcShared[t], prof.ipcShared[t])
+            << tag << " thread " << t;
+        EXPECT_EQ(plain.ipcAlone[t], prof.ipcAlone[t])
+            << tag << " thread " << t;
+    }
+    EXPECT_EQ(plain.metrics.weightedSpeedup, prof.metrics.weightedSpeedup)
+        << tag;
+    EXPECT_EQ(plain.metrics.maxSlowdown, prof.metrics.maxSlowdown) << tag;
+    EXPECT_EQ(plain.metrics.harmonicSpeedup, prof.metrics.harmonicSpeedup)
+        << tag;
+    EXPECT_EQ(plain.metrics.speedups, prof.metrics.speedups) << tag;
+    EXPECT_EQ(plain.metrics.slowdowns, prof.metrics.slowdowns) << tag;
+
+    // The telemetry JSONL stream is part of the bit-identity contract:
+    // the profiler's "simulator" lane lives only in the Chrome trace.
+    EXPECT_EQ(telemetryBytes(plain, tag + "_plain"),
+              telemetryBytes(prof, tag + "_prof"))
+        << tag;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Bit-identity: profiler on vs off, across kernels and worker counts.
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerPurity, BitIdenticalAcrossKernelsAndWorkers)
+{
+    // The env fallback must not contaminate the profiled=false legs.
+    ::unsetenv("TCMSIM_PROFILE");
+
+    sim::ExperimentScale scale;
+    scale.warmup = 20'000;
+    scale.measure = 120'000;
+    auto mix = workload::randomMix(6, 0.5, /*seed=*/42);
+
+    for (const sched::SchedulerSpec &spec :
+         {sched::SchedulerSpec::frfcfs(), sched::SchedulerSpec::tcmSpec()}) {
+        for (bool cycleSkip : {false, true}) {
+            for (int workers : {1, 2, 4}) {
+                std::string tag = std::string(sched::algoName(spec.algo)) +
+                                  (cycleSkip ? "_skip" : "_oracle") + "_w" +
+                                  std::to_string(workers);
+                sim::RunResult plain =
+                    runAt(spec, cycleSkip, workers, false, scale, mix);
+                sim::RunResult prof =
+                    runAt(spec, cycleSkip, workers, true, scale, mix);
+                EXPECT_EQ(plain.profile, nullptr) << tag;
+                ASSERT_NE(prof.profile, nullptr) << tag;
+                EXPECT_TRUE(prof.profile->enabled) << tag;
+                expectIdentical(plain, prof, tag);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Command-stream identity: a profiled run reproduces the same committed
+// golden DRAM command trace the unprofiled kernels are pinned to
+// (test_golden / test_cycleskip / test_intra_parallel).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+commandTrace(bool cycleSkip, int workers, bool profiled,
+             std::size_t events)
+{
+    sim::SystemConfig config;
+    config.numCores = 2;
+    config.numChannels = 1;
+    config.cycleSkip = cycleSkip;
+    config.intraRunParallel = workers;
+    auto mix = workload::randomMix(config.numCores, 1.0, /*seed=*/99);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
+    spec.scaleToRun(30'000);
+
+    sim::Simulator sim(config, mix, spec, /*seed=*/99);
+    prof::Profiler profiler;
+    if (profiled)
+        sim.attachProfiler(&profiler);
+    dram::CommandTraceRecorder recorder(events);
+    sim.attachCommandObserver(&recorder);
+    sim.step(30'000);
+    EXPECT_TRUE(recorder.full());
+    return recorder.text();
+}
+
+} // namespace
+
+TEST(ProfilerPurity, GoldenCommandTraceUnchanged)
+{
+    constexpr std::size_t kEvents = 400;
+    const std::string golden = readFile(
+        std::string(TCMSIM_GOLDEN_DIR) + "/cmd_trace_frfcfs_seed99.txt");
+    for (bool cycleSkip : {false, true})
+        for (int workers : {1, 2})
+            EXPECT_EQ(commandTrace(cycleSkip, workers, true, kEvents),
+                      golden)
+                << "cycleSkip=" << cycleSkip << " workers=" << workers;
+}
+
+// ---------------------------------------------------------------------------
+// Report content: the profile of a real run must actually explain it.
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerReport, EveryRegisteredSchedulerGetsHorizonAttribution)
+{
+    // The acceptance bar behind `sweep --profile`: under the cycle-skip
+    // kernel every registered policy's runs take horizon jumps, and the
+    // profiler attributes every one of them to a source.
+    const char *names[] = {"frfcfs", "fcfs",   "fqm",       "stfm",
+                           "parbs",  "atlas",  "tcm",       "bliss",
+                           "ght",    "frfcfs-cp", "tournament"};
+    auto mix = workload::randomMix(4, 0.5, /*seed=*/11);
+    for (const char *name : names) {
+        sched::SpecLookup lookup = sched::specByName(name);
+        ASSERT_TRUE(lookup.ok) << name;
+        sched::SchedulerSpec spec = lookup.spec;
+        spec.scaleToRun(80'000);
+
+        sim::SystemConfig config;
+        config.numCores = 4;
+        config.numChannels = 2;
+        config.cycleSkip = true;
+        sim::Simulator sim(config, mix, spec, /*seed=*/3);
+        prof::Profiler profiler;
+        sim.attachProfiler(&profiler);
+        sim.step(80'000);
+
+        prof::ProfileReport r = profiler.report();
+        EXPECT_GT(r.totalSkips(), 0u) << name;
+        EXPECT_EQ(r.totalSkips(), r.skipLengths.count()) << name;
+        EXPECT_GT(r.totalSkippedCycles(), 0u) << name;
+        // Phase timers ran: the controller tick phase is exercised by
+        // every policy, and calls imply accumulated (possibly tiny) ns.
+        EXPECT_GT(r.phaseCalls[static_cast<int>(prof::Phase::CtrlTick)],
+                  0u)
+            << name;
+        // Every simulated core cycle lands in exactly one regime bucket.
+        ASSERT_EQ(r.coreRegimes.size(), 4u) << name;
+        for (const auto &core : r.coreRegimes) {
+            std::uint64_t total = 0;
+            for (std::uint64_t c : core)
+                total += c;
+            EXPECT_EQ(total, 80'000u) << name;
+        }
+        EXPECT_GT(r.scan.soaScans + r.scan.fallbackScans, 0u) << name;
+    }
+}
+
+TEST(ProfilerReport, RegimeAccountingCoversEveryCycleUnderGang)
+{
+    auto mix = workload::randomMix(6, 0.5, /*seed=*/42);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(60'000);
+    sim::SystemConfig config = profConfig(true, 4, false);
+    sim::Simulator sim(config, mix, spec, /*seed=*/13);
+    prof::Profiler profiler;
+    sim.attachProfiler(&profiler);
+    sim.step(60'000);
+
+    prof::ProfileReport r = profiler.report();
+    ASSERT_EQ(r.coreRegimes.size(), 6u);
+    for (const auto &core : r.coreRegimes) {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : core)
+            total += c;
+        EXPECT_EQ(total, 60'000u);
+    }
+    // The gang ran and its lane-imbalance slots were populated through
+    // the per-lane hooks (merged shard totals, not just lane 0).
+    EXPECT_EQ(r.gangLanes, 4);
+    ASSERT_EQ(r.laneTasks.size(), 4u);
+    std::uint64_t tasks = 0;
+    for (std::uint64_t t : r.laneTasks)
+        tasks += t;
+    EXPECT_GT(tasks, 0u);
+    EXPECT_GT(r.phaseCalls[static_cast<int>(prof::Phase::GangRun)], 0u);
+    EXPECT_GT(r.phaseCalls[static_cast<int>(prof::Phase::Replay)], 0u);
+}
+
+TEST(ProfilerReport, MergeAddsRunsAndCounts)
+{
+    prof::ProfileReport a, b;
+    a.enabled = true;
+    a.runs = 1;
+    a.phaseNs[0] = 100;
+    a.phaseCalls[0] = 2;
+    a.skipCount[0] = 3;
+    a.skipCycles[0] = 300;
+    a.coreRegimes.assign(2, {});
+    a.coreRegimes[0][0] = 7;
+    b = a;
+    b.coreRegimes.assign(4, {});
+    b.coreRegimes[3][2] = 5;
+
+    a.merge(b);
+    EXPECT_EQ(a.runs, 2);
+    EXPECT_EQ(a.phaseNs[0], 200u);
+    EXPECT_EQ(a.phaseCalls[0], 4u);
+    EXPECT_EQ(a.skipCount[0], 6u);
+    EXPECT_EQ(a.skipCycles[0], 600u);
+    ASSERT_EQ(a.coreRegimes.size(), 4u);
+    EXPECT_EQ(a.coreRegimes[0][0], 7u);
+    EXPECT_EQ(a.coreRegimes[3][2], 5u);
+
+    prof::ProfileReport disabled;
+    int runsBefore = a.runs;
+    a.merge(disabled); // merging a never-enabled report is a no-op
+    EXPECT_EQ(a.runs, runsBefore);
+}
+
+TEST(ProfilerReport, ProvenanceKeysAreSchemaStable)
+{
+    prof::ProfileReport r;
+    r.enabled = true;
+    r.runs = 1;
+    auto kv = r.provenance();
+    // Fixed order: 8 phase_ms keys, 4 skip summary keys, 5 horizon
+    // sources, 3 regimes, 3 scan counters = 23 entries.
+    ASSERT_EQ(kv.size(), 23u);
+    EXPECT_EQ(kv[0].first, "sched_tick_ms");
+    EXPECT_EQ(kv[7].first, "serialize_ms");
+    EXPECT_EQ(kv[8].first, "skips");
+    EXPECT_EQ(kv[11].first, "skip_max");
+    EXPECT_EQ(kv[12].first, "horizon_scheduler");
+    EXPECT_EQ(kv[16].first, "horizon_end");
+    EXPECT_EQ(kv[17].first, "dormant_cycles");
+    EXPECT_EQ(kv[22].first, "fallback_scans");
+}
+
+TEST(ProfilerReport, JsonAndPrintAreWellFormed)
+{
+    auto mix = workload::randomMix(4, 0.5, /*seed=*/11);
+    sched::SchedulerSpec spec = sched::SchedulerSpec::tcmSpec();
+    spec.scaleToRun(40'000);
+    sim::SystemConfig config;
+    config.numCores = 4;
+    sim::Simulator sim(config, mix, spec, /*seed=*/3);
+    prof::Profiler profiler;
+    sim.attachProfiler(&profiler);
+    sim.step(40'000);
+
+    prof::ProfileReport r = profiler.report();
+    std::string json = r.toJson();
+    EXPECT_NE(json.find("\"schema\": \"tcmsim-profile-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"horizon\""), std::string::npos);
+    EXPECT_NE(json.find("\"regimes\""), std::string::npos);
+
+    // print() renders through the SystemReport path without tripping on
+    // any section; the disabled default renders nothing at all.
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    sim::SystemReport report = sim::SystemReport::collect(sim);
+    report.addProfile(r);
+    report.print(f);
+    long withProfile = std::ftell(f);
+    std::rewind(f);
+    sim::SystemReport bare = sim::SystemReport::collect(sim);
+    bare.print(f);
+    long without = std::ftell(f);
+    std::fclose(f);
+    EXPECT_GT(withProfile, without);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileConfig, FromEnvContract)
+{
+    ::unsetenv("TCMSIM_PROFILE");
+    EXPECT_FALSE(prof::ProfileConfig::fromEnv().enabled);
+
+    ::setenv("TCMSIM_PROFILE", "", 1);
+    EXPECT_FALSE(prof::ProfileConfig::fromEnv().enabled);
+
+    ::setenv("TCMSIM_PROFILE", "0", 1);
+    EXPECT_FALSE(prof::ProfileConfig::fromEnv().enabled);
+
+    ::setenv("TCMSIM_PROFILE", "1", 1);
+    prof::ProfileConfig on = prof::ProfileConfig::fromEnv();
+    EXPECT_TRUE(on.enabled);
+    EXPECT_TRUE(on.dir.empty());
+
+    ::setenv("TCMSIM_PROFILE", "/tmp/prof_out", 1);
+    prof::ProfileConfig dir = prof::ProfileConfig::fromEnv();
+    EXPECT_TRUE(dir.enabled);
+    EXPECT_EQ(dir.dir, "/tmp/prof_out");
+
+    ::unsetenv("TCMSIM_PROFILE");
+}
+
+TEST(ProfileConfig, RunWorkloadWritesProfileJson)
+{
+    ::unsetenv("TCMSIM_PROFILE");
+    std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                "tcmsim_prof_json_test";
+    std::filesystem::create_directories(dir);
+
+    sim::ExperimentScale scale;
+    scale.warmup = 5'000;
+    scale.measure = 30'000;
+    auto mix = workload::randomMix(2, 0.5, /*seed=*/8);
+    sim::SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.numChannels = 1;
+    cfg.profile.enabled = true;
+    cfg.profile.dir = dir.string();
+    cfg.profile.filePrefix = "x_";
+    sim::AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+    sim::RunResult r = sim::runWorkload(cfg, mix,
+                                        sched::SchedulerSpec::frfcfs(),
+                                        scale, cache, /*seed=*/4);
+    ASSERT_NE(r.profile, nullptr);
+
+    std::filesystem::path file = dir / "x_FR-FCFS_seed4.profile.json";
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    std::string json = readFile(file.string());
+    EXPECT_NE(json.find("tcmsim-profile-v1"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Profiler, DetachedSitesAreInert)
+{
+    // A null shard must mean "no clock read, no write": the detached
+    // instrumentation cost the hot path pays.
+    prof::ScopedPhase nop(nullptr, prof::Phase::CtrlTick);
+    prof::PhaseShard shard;
+    {
+        prof::ScopedPhase timed(&shard, prof::Phase::CtrlTick);
+    }
+    EXPECT_EQ(shard.calls[static_cast<int>(prof::Phase::CtrlTick)], 1u);
+    // Attaching then detaching restores the unprofiled fast path.
+    sim::SystemConfig config;
+    config.numCores = 2;
+    config.numChannels = 1;
+    auto mix = workload::randomMix(2, 0.5, /*seed=*/8);
+    sim::Simulator sim(config, mix, sched::SchedulerSpec::frfcfs(), 4);
+    prof::Profiler profiler;
+    sim.attachProfiler(&profiler);
+    EXPECT_TRUE(sim.hasProfiler());
+    sim.attachProfiler(nullptr);
+    EXPECT_FALSE(sim.hasProfiler());
+    sim.step(10'000); // must not touch the detached profiler
+}
+
+// ---------------------------------------------------------------------------
+// The Chrome-trace "simulator" lane.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorLane, ChromeTraceGainsLaneOnlyWhenProfiled)
+{
+    ::unsetenv("TCMSIM_PROFILE");
+    sim::ExperimentScale scale;
+    scale.warmup = 5'000;
+    scale.measure = 40'000;
+    auto mix = workload::randomMix(4, 0.5, /*seed=*/42);
+
+    auto chromeTrace = [&](bool profiled) {
+        sim::SystemConfig cfg = profConfig(true, 1, profiled);
+        sim::AloneIpcCache cache(cfg, scale.warmup, scale.measure);
+        sim::RunResult r =
+            sim::runWorkload(cfg, mix, sched::SchedulerSpec::tcmSpec(),
+                             scale, cache, /*seed=*/13);
+        EXPECT_TRUE(r.telemetry != nullptr);
+        std::filesystem::path path =
+            std::filesystem::temp_directory_path() /
+            (profiled ? "tcmsim_lane_on.json" : "tcmsim_lane_off.json");
+        r.telemetry->writeChromeTrace(path.string());
+        std::string bytes = readFile(path.string());
+        std::filesystem::remove(path);
+        return bytes;
+    };
+
+    std::string off = chromeTrace(false);
+    std::string on = chromeTrace(true);
+    EXPECT_EQ(off.find("\"simulator\""), std::string::npos);
+    EXPECT_NE(on.find("\"simulator\""), std::string::npos);
+    EXPECT_NE(on.find("sim.wall_ms"), std::string::npos);
+    EXPECT_NE(on.find("sim.skip"), std::string::npos);
+    // Counter samples land on the dedicated tid-1 lane.
+    EXPECT_NE(on.find("\"tid\":1"), std::string::npos);
+    // Well-formed trace array either way (Perfetto-loadable shape).
+    EXPECT_EQ(on.front(), '[');
+    EXPECT_EQ(on.substr(on.size() - 2), "]\n");
+}

@@ -101,6 +101,58 @@ TEST(HistogramTest, MergeEqualsCombinedStream)
     EXPECT_DOUBLE_EQ(a.percentile(0.9), both.percentile(0.9));
 }
 
+// The documented percentile() edge-case contract (histogram.hpp):
+// empty -> 0, p clamped to [0,1], p=0 -> min(), p=1 -> max(), overflow
+// bucket -> observed max.
+
+TEST(HistogramTest, PercentileEmptyReturnsZeroForAnyP)
+{
+    Histogram h = Histogram::exponential(1.0, 2.0, 8);
+    for (double p : {-1.0, 0.0, 0.5, 1.0, 7.0})
+        EXPECT_EQ(h.percentile(p), 0.0) << p;
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP)
+{
+    Histogram h({10.0, 100.0});
+    h.add(3.0);
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(HistogramTest, PercentileExtremesReportMinAndMax)
+{
+    Histogram h = Histogram::exponential(10.0, 2.0, 10);
+    Pcg32 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        h.add(1.0 + rng.nextBelow(5000));
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, PercentileOverflowBucketReportsObservedMax)
+{
+    Histogram h({10.0}); // one bound: everything above 10 overflows
+    h.add(5.0);
+    h.add(250.0);
+    h.add(9000.0);
+    // p50 onward land in the overflow bucket, which has no upper bound
+    // to interpolate toward; the contract says report max().
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 9000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 9000.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange)
+{
+    // A single value in a wide bucket: interpolation would overshoot,
+    // the min/max clamp keeps every percentile at the value itself.
+    Histogram h({1000.0, 2000.0});
+    h.add(1500.0);
+    for (double p : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 1500.0) << p;
+}
+
 TEST(HistogramTest, ResetClears)
 {
     Histogram h({10.0});

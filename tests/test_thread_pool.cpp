@@ -222,3 +222,47 @@ TEST(SpinGang, IdleGangParksAndWakes)
     gang.run(6, [&](std::size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 12);
 }
+
+TEST(SpinGang, LaneProfileCountsEveryTaskExactlyOnce)
+{
+    // The profiler's gang-imbalance view hangs off these slots: each
+    // lane bumps only its own pair, and the join publishes them to the
+    // caller. Summed across lanes they must equal the exact number of
+    // tasks dispatched — a lost or double-counted claim shows up here
+    // (and as a data race under TSAN).
+    SpinGang gang(4);
+    std::vector<std::uint64_t> busyNs(4, 0);
+    std::vector<std::uint64_t> tasks(4, 0);
+    gang.setLaneProfile(busyNs.data(), tasks.data());
+
+    constexpr std::size_t n = 131; // not a multiple of the lane count
+    constexpr int rounds = 25;
+    std::atomic<std::uint64_t> work{0};
+    for (int round = 0; round < rounds; ++round)
+        gang.run(n, [&](std::size_t i) {
+            // Enough work per task that the per-lane timers must
+            // accumulate something measurable across 25 x 131 tasks.
+            std::uint64_t acc = i;
+            for (int k = 0; k < 200; ++k)
+                acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+            work.fetch_add(acc | 1, std::memory_order_relaxed);
+        });
+
+    std::uint64_t totalTasks = 0;
+    std::uint64_t totalBusy = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+        totalTasks += tasks[lane];
+        totalBusy += busyNs[lane];
+    }
+    EXPECT_EQ(totalTasks, static_cast<std::uint64_t>(n) * rounds);
+    EXPECT_GT(totalBusy, 0u);
+
+    // Detaching restores the untimed claim loop: the slots must stop
+    // moving entirely.
+    gang.setLaneProfile(nullptr, nullptr);
+    gang.run(n, [&](std::size_t) {});
+    std::uint64_t after = 0;
+    for (int lane = 0; lane < 4; ++lane)
+        after += tasks[lane];
+    EXPECT_EQ(after, totalTasks);
+}

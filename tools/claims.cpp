@@ -56,6 +56,10 @@ struct Options
     // (SystemConfig::intraRunParallel). Also bit-identical by contract
     // at any lane count; CI runs the gate with >1 lanes to enforce it.
     int intraParallel = 1;
+    // Attach the simulator self-profiler to every run. A pure observer:
+    // claim verdicts and baseline diffs are unchanged; the merged
+    // profile lands in each document's "run" provenance block.
+    bool profile = false;
 };
 
 void
@@ -86,7 +90,11 @@ usage(std::FILE *out)
         "                       worker lanes between deterministic\n"
         "                       barriers (results are bit-identical at\n"
         "                       any N; CI runs the gate with N>1 to\n"
-        "                       enforce that)\n");
+        "                       enforce that)\n"
+        "  --profile            profile the simulator itself; verdicts\n"
+        "                       and baselines are unchanged (observer\n"
+        "                       purity), the merged metrics land in each\n"
+        "                       document's \"run\" provenance block\n");
 }
 
 bool
@@ -155,6 +163,8 @@ parseArgs(int argc, char **argv, Options &opt)
                              "claims: --intra-parallel needs N >= 1\n");
                 return false;
             }
+        } else if (arg == "--profile") {
+            opt.profile = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             std::exit(0);
@@ -225,6 +235,7 @@ main(int argc, char **argv)
     sim::SystemConfig config;
     config.cycleSkip = !opt.perCycle;
     config.intraRunParallel = opt.intraParallel;
+    config.profile.enabled = opt.profile;
     std::fprintf(stderr,
                  "claims: scale %s (warmup %llu, measure %llu, %d "
                  "workloads/category)%s, %d worker lane(s)\n",

@@ -28,6 +28,13 @@
  *                         write DIR/i<intensity>_<scheduler>_seed<N>
  *                         .jsonl + .trace.json per run (Perfetto-
  *                         loadable); DIR is created if missing
+ *     --profile[=DIR]     profile the simulator itself (wall-clock
+ *                         phases, cycle-skip horizon attribution, core
+ *                         regimes, scan efficiency); prints one
+ *                         aggregated report per scheduler to stderr.
+ *                         With =DIR, also writes DIR/i<intensity>_
+ *                         <scheduler>_seed<N>.profile.json per run.
+ *                         CSV output is bit-identical either way.
  *
  * Columns: scheduler,intensity,workload,seed,ws,ms,hs
  * Row order and values are independent of --jobs: runs are independently
@@ -91,6 +98,8 @@ main(int argc, char **argv)
     int jobs = 0;
     bool check = false;
     std::string telemetryDir;
+    bool profile = false;
+    std::string profileDir;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -123,7 +132,12 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--telemetry")
             telemetryDir = value();
-        else
+        else if (arg == "--profile")
+            profile = true;
+        else if (arg.rfind("--profile=", 0) == 0) {
+            profile = true;
+            profileDir = arg.substr(std::strlen("--profile="));
+        } else
             die("unknown option");
     }
 
@@ -138,6 +152,16 @@ main(int argc, char **argv)
             die("cannot create the --telemetry directory");
         config.telemetry.enabled = true;
         config.telemetry.dir = telemetryDir;
+    }
+    if (profile) {
+        config.profile.enabled = true;
+        if (!profileDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(profileDir, ec);
+            if (ec)
+                die("cannot create the --profile directory");
+            config.profile.dir = profileDir;
+        }
     }
     sim::ExperimentScale scale;
     scale.measure = cycles;
@@ -165,11 +189,12 @@ main(int argc, char **argv)
         // Workload w reuses seed + w at every intensity, so the file
         // names need the intensity to stay distinct.
         sim::SystemConfig runConfig = config;
-        if (runConfig.telemetry.enabled) {
-            char prefix[32];
-            std::snprintf(prefix, sizeof prefix, "i%.2f_", intensity);
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "i%.2f_", intensity);
+        if (runConfig.telemetry.enabled)
             runConfig.telemetry.filePrefix = prefix;
-        }
+        if (runConfig.profile.enabled)
+            runConfig.profile.filePrefix = prefix;
         byIntensity.push_back(sim::runMatrix(runConfig, set, specs, scale,
                                              cache, seed, jobs));
     }
@@ -210,6 +235,21 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(auditedRuns));
         if (violations != 0)
             return 1;
+    }
+    if (profile) {
+        // One aggregated self-profile per scheduler, across every
+        // intensity and workload. stderr, so `sweep > results.csv`
+        // pipelines stay clean.
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            prof::ProfileReport merged;
+            for (std::size_t i = 0; i < intensities.size(); ++i)
+                for (const sim::RunResult &r : byIntensity[i][s])
+                    if (r.profile)
+                        merged.merge(*r.profile);
+            std::fprintf(stderr, "sweep: profile [%s]\n",
+                         schedulerNames[s].c_str());
+            merged.print(stderr);
+        }
     }
     return 0;
 }
