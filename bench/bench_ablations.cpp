@@ -98,8 +98,8 @@ main(int argc, char **argv)
         std::printf("\n-- write-drain high watermark (cap 64) --\n");
         for (int hi : {16, 48, 62}) {
             sim::SystemConfig config;
-            config.controller.drainHighWatermark = hi;
-            config.controller.drainLowWatermark = hi / 3;
+            config.controller.writeDrain.highWatermark = hi;
+            config.controller.writeDrain.lowWatermark = hi / 3;
             char label[48];
             std::snprintf(label, sizeof(label), "drain at %d", hi);
             row(doc, "write-drain", label,

@@ -50,9 +50,10 @@ Cycle
 Bank::read(Cycle now)
 {
     assert(canRead(now));
+    // Same-bank columns are same-group by definition: the long spacing.
     preAllowedAt_ = std::max(preAllowedAt_, now + timing_->tRTP);
-    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD);
-    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD);
+    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD_L);
+    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD_L);
     return timing_->tBURST;
 }
 
@@ -62,8 +63,8 @@ Bank::write(Cycle now)
     assert(canWrite(now));
     Cycle data_end = now + timing_->tCWL + timing_->tBURST;
     preAllowedAt_ = std::max(preAllowedAt_, data_end + timing_->tWR);
-    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD);
-    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD);
+    rdAllowedAt_ = std::max(rdAllowedAt_, now + timing_->tCCD_L);
+    wrAllowedAt_ = std::max(wrAllowedAt_, now + timing_->tCCD_L);
     return timing_->tBURST;
 }
 

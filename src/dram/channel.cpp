@@ -9,6 +9,7 @@ Channel::Channel(const TimingParams &timing, ChannelId id)
     : timing_(&timing), id_(id)
 {
     assert(timing.banksPerChannel % timing.ranksPerChannel == 0);
+    assert(timing.banksPerRank() % timing.bankGroupsPerRank == 0);
     ranks_.reserve(timing.ranksPerChannel);
     for (int r = 0; r < timing.ranksPerChannel; ++r)
         ranks_.emplace_back(timing);
@@ -43,6 +44,16 @@ Channel::notifyObservers(CommandKind kind, BankId b, RowId row, Cycle now,
         obs->onCommand(ev);
 }
 
+Cycle
+Channel::colAllowedAt(int group) const
+{
+    if (lastColGroup_ < 0)
+        return 0;
+    Cycle spacing = group == lastColGroup_ ? timing_->tCCD_L
+                                           : timing_->tCCD_S;
+    return lastColCmdAt_ + spacing;
+}
+
 bool
 Channel::canIssue(CommandKind kind, BankId b, Cycle now) const
 {
@@ -52,29 +63,38 @@ Channel::canIssue(CommandKind kind, BankId b, Cycle now) const
     const Rank &rank = ranks_[rankOf(b)];
     switch (kind) {
       case CommandKind::Activate:
-        return bank.canActivate(now) && rank.canActivate(now);
+        return bank.canActivate(now) &&
+               rank.canActivate(now, timing_->groupInRank(b));
       case CommandKind::Read: {
+        if (!rank.commandsAllowed(now))
+            return false;
         Cycle data_start = now + timing_->tCL;
         Cycle bus_free = dataBusFreeAt_;
         if (lastBurstRank_ >= 0 && lastBurstRank_ != rankOf(b))
             bus_free += timing_->tRTRS;
         return bank.canRead(now) && rank.canRead(now) &&
-               now >= colCmdAllowedAt_ && data_start >= bus_free;
+               now >= colAllowedAt(timing_->groupOfBank(b)) &&
+               data_start >= bus_free;
       }
       case CommandKind::Write: {
+        if (!rank.commandsAllowed(now))
+            return false;
         Cycle data_start = now + timing_->tCWL;
         Cycle bus_free = dataBusFreeAt_;
         if (lastBurstRank_ >= 0 && lastBurstRank_ != rankOf(b))
             bus_free += timing_->tRTRS;
-        return bank.canWrite(now) && now >= colCmdAllowedAt_ &&
+        return bank.canWrite(now) &&
+               now >= colAllowedAt(timing_->groupOfBank(b)) &&
                data_start >= bus_free;
       }
       case CommandKind::Precharge:
-        return bank.canPrecharge(now);
+        return rank.commandsAllowed(now) && bank.canPrecharge(now);
       case CommandKind::Refresh: {
         // Refresh internally activates every bank: each bank must be
         // precharged with tRP elapsed (and tRFC since the previous
         // refresh), exactly as if an ACT were issued to it.
+        if (!rank.commandsAllowed(now))
+            return false;
         int r = rankOf(b);
         int base = r * timing_->banksPerRank();
         for (int i = 0; i < timing_->banksPerRank(); ++i)
@@ -82,6 +102,10 @@ Channel::canIssue(CommandKind kind, BankId b, Cycle now) const
                 return false;
         return true;
       }
+      case CommandKind::PowerDown:
+        return rank.canPowerDown(now) && rankPrecharged(rankOf(b));
+      case CommandKind::PowerUp:
+        return rank.canPowerUp(now);
     }
     return false;
 }
@@ -100,14 +124,15 @@ Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
     switch (kind) {
       case CommandKind::Activate:
         res.occupancy = bank.activate(now, row);
-        rank.recordActivate(now);
+        rank.recordActivate(now, timing_->groupInRank(b));
         break;
       case CommandKind::Read:
         res.occupancy = bank.read(now);
         res.dataStart = now + timing_->tCL;
         res.dataEnd = res.dataStart + timing_->tBURST;
         dataBusFreeAt_ = res.dataEnd;
-        colCmdAllowedAt_ = now + timing_->tCCD;
+        lastColCmdAt_ = now;
+        lastColGroup_ = timing_->groupOfBank(b);
         lastBurstRank_ = rankOf(b);
         break;
       case CommandKind::Write:
@@ -116,7 +141,8 @@ Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
         res.dataStart = now + timing_->tCWL;
         res.dataEnd = res.dataStart + timing_->tBURST;
         dataBusFreeAt_ = res.dataEnd;
-        colCmdAllowedAt_ = now + timing_->tCCD;
+        lastColCmdAt_ = now;
+        lastColGroup_ = timing_->groupOfBank(b);
         lastBurstRank_ = rankOf(b);
         break;
       case CommandKind::Precharge:
@@ -130,6 +156,12 @@ Channel::issue(CommandKind kind, BankId b, RowId row, Cycle now)
         res.occupancy = timing_->tRFC;
         break;
       }
+      case CommandKind::PowerDown:
+        rank.recordPowerDown(now);
+        break;
+      case CommandKind::PowerUp:
+        rank.recordPowerUp(now);
+        break;
     }
     return res;
 }
@@ -174,38 +206,50 @@ Channel::earliestIssue(CommandKind kind, BankId b) const
         if (!bank.precharged())
             return kCycleNever;
         t = std::max(t, bank.actAllowedAt());
-        t = std::max(t, rank.earliestActivate());
+        t = std::max(t, rank.earliestActivate(timing_->groupInRank(b)));
         return t;
       case CommandKind::Read:
         if (bank.precharged())
             return kCycleNever;
+        t = std::max(t, rank.earliestCommandsAllowed());
         t = std::max(t, bank.rdAllowedAt());
         t = std::max(t, rank.earliestRead());
-        t = std::max(t, colCmdAllowedAt_);
+        t = std::max(t, colAllowedAt(timing_->groupOfBank(b)));
         if (dataBusFreeAt_ + rtrs > timing_->tCL)
             t = std::max(t, dataBusFreeAt_ + rtrs - timing_->tCL);
         return t;
       case CommandKind::Write:
         if (bank.precharged())
             return kCycleNever;
+        t = std::max(t, rank.earliestCommandsAllowed());
         t = std::max(t, bank.wrAllowedAt());
-        t = std::max(t, colCmdAllowedAt_);
+        t = std::max(t, colAllowedAt(timing_->groupOfBank(b)));
         if (dataBusFreeAt_ + rtrs > timing_->tCWL)
             t = std::max(t, dataBusFreeAt_ + rtrs - timing_->tCWL);
         return t;
       case CommandKind::Precharge:
         if (bank.precharged())
             return kCycleNever;
+        t = std::max(t, rank.earliestCommandsAllowed());
         return std::max(t, bank.preAllowedAt());
       case CommandKind::Refresh: {
         if (!rankPrecharged(rankOf(b)))
             return kCycleNever;
         int r = rankOf(b);
         int base = r * timing_->banksPerRank();
+        t = std::max(t, rank.earliestCommandsAllowed());
         for (int i = 0; i < timing_->banksPerRank(); ++i)
             t = std::max(t, banks_[base + i].actAllowedAt());
         return t;
       }
+      case CommandKind::PowerDown:
+        if (rank.poweredDown() || !rankPrecharged(rankOf(b)))
+            return kCycleNever;
+        return std::max(t, rank.earliestCommandsAllowed());
+      case CommandKind::PowerUp:
+        if (!rank.poweredDown())
+            return kCycleNever;
+        return std::max(t, rank.earliestPowerUp());
     }
     return kCycleNever;
 }

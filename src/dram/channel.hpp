@@ -22,7 +22,10 @@ namespace tcm::dram {
  * `canIssue`/`issue` interface the memory controller drives. One command
  * may occupy the command bus per tCK; read/write data bursts occupy the
  * shared data bus (with a tRTRS gap when consecutive bursts come from
- * different ranks); tCCD separates column commands channel-wide.
+ * different ranks); column commands are separated channel-wide by
+ * tCCD_L when they target the same bank group as the previous column
+ * command and tCCD_S otherwise (equal values outside DDR4, reducing to
+ * the classic single tCCD).
  *
  * Banks are numbered contiguously across ranks: bank ids
  * [r * banksPerRank, (r+1) * banksPerRank) belong to rank r. Rank-level
@@ -106,6 +109,24 @@ class Channel
     /** True when every bank of rank @p rank is precharged. */
     bool rankPrecharged(int rank) const;
 
+    /** True when rank @p rank is in precharge power-down. */
+    bool rankPoweredDown(int rank) const
+    {
+        return ranks_[rank].poweredDown();
+    }
+
+    /** Earliest cycle a PowerUp to rank @p rank could issue. */
+    Cycle rankPowerUpAllowedAt(int rank) const
+    {
+        return ranks_[rank].earliestPowerUp();
+    }
+
+    /** Power-down cycles of rank @p rank through @p now (energy). */
+    Cycle rankPowerDownCycles(int rank, Cycle now) const
+    {
+        return ranks_[rank].powerDownCycles(now);
+    }
+
     /**
      * Lower bound on the first cycle at which @p kind could issue to
      * bank @p b, assuming no further commands issue in between. Never
@@ -120,6 +141,13 @@ class Channel
     void notifyObservers(CommandKind kind, BankId b, RowId row, Cycle now,
                          bool autoPre) const;
 
+    /**
+     * Earliest cycle a column command to global bank group @p group may
+     * issue under the tCCD_S/tCCD_L split (0 when no column command has
+     * issued yet).
+     */
+    Cycle colAllowedAt(int group) const;
+
     const TimingParams *timing_;
     ChannelId id_;
     std::vector<Rank> ranks_;
@@ -128,7 +156,8 @@ class Channel
     std::vector<CommandEvent> *eventBuffer_ = nullptr;
     Cycle cmdBusFreeAt_ = 0;
     Cycle dataBusFreeAt_ = 0;
-    Cycle colCmdAllowedAt_ = 0; //!< channel-wide tCCD
+    Cycle lastColCmdAt_ = 0;    //!< last column command (tCCD base)
+    int lastColGroup_ = -1;     //!< its global bank group; -1 = none yet
     Cycle lastIssueCycle_ = 0;  //!< stamps auto-precharge rider events
     int lastBurstRank_ = -1;    //!< for the tRTRS rank-switch gap
 };

@@ -9,7 +9,7 @@
 
 namespace tcm::dram {
 
-/** The five DDR2 commands the controller can issue. */
+/** The DRAM commands the controller can issue. */
 enum class CommandKind
 {
     Activate,  //!< Open a row into the bank's row-buffer
@@ -17,6 +17,8 @@ enum class CommandKind
     Write,     //!< Column write into the open row
     Precharge, //!< Close the open row
     Refresh,   //!< All-bank refresh (rank level)
+    PowerDown, //!< Enter precharge power-down (rank level)
+    PowerUp,   //!< Exit power-down; commands legal after tXP (rank level)
 };
 
 /** Human-readable command name (for logs and test failure messages). */
@@ -45,6 +47,8 @@ commandName(CommandKind kind)
       case CommandKind::Write: return "WR";
       case CommandKind::Precharge: return "PRE";
       case CommandKind::Refresh: return "REF";
+      case CommandKind::PowerDown: return "PDE";
+      case CommandKind::PowerUp: return "PDX";
     }
     return "???";
 }

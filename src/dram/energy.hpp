@@ -3,11 +3,12 @@
  * DRAM energy accounting in the DRAMSim/DRAMPower style: per-command
  * energies plus background power, driven by command counts.
  *
- * The constants are DDR2-800 1Gb-x8 DIMM ballparks derived from the
- * Micron DDR2 power calculator (IDD0/IDD4/IDD5 windows at 1.8 V, eight
- * chips per DIMM). They are deliberately round figures: this model ranks
- * scheduler energy behaviour (row hits vs conflicts, refresh overhead),
- * it does not claim millijoule-accurate absolute numbers.
+ * The constants are 1Gb-x8 DIMM ballparks derived from the Micron power
+ * calculators (IDD0/IDD4/IDD5 windows, eight chips per DIMM), scaled per
+ * generation by forGeneration(). They are deliberately round figures:
+ * this model ranks scheduler energy behaviour (row hits vs conflicts,
+ * refresh overhead, power-down residency), it does not claim
+ * millijoule-accurate absolute numbers.
  */
 
 #pragma once
@@ -15,6 +16,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "dram/timing.hpp"
 
 namespace tcm::dram {
 
@@ -26,6 +28,12 @@ struct CommandCounts
     std::uint64_t writes = 0;
     std::uint64_t refreshes = 0;
     std::uint64_t bankBusyCycles = 0;
+    /**
+     * Bank-cycles spent in precharge power-down (per-rank power-down
+     * cycles times the rank's bank count). 0 unless the controller's
+     * power management is enabled.
+     */
+    std::uint64_t powerDownBankCycles = 0;
 };
 
 /** Per-command energies (picojoules) and background power (milliwatts). */
@@ -37,9 +45,17 @@ struct EnergyParams
     double eRefresh = 35'000.0; //!< one all-bank refresh
     double pBackgroundActive = 750.0; //!< mW while banks are busy
     double pBackgroundIdle = 400.0;   //!< mW otherwise (standby)
+    double pBackgroundPowerDown = 150.0; //!< mW in precharge power-down
 
     /** DDR2-800 DIMM defaults (see file comment). */
     static EnergyParams ddr2_800() { return EnergyParams{}; }
+
+    /**
+     * Generation-scaled parameters: each DDR generation dropped the core
+     * voltage (1.8 V -> 1.5 V -> 1.2 V), cutting both dynamic and
+     * background power roughly with V^2.
+     */
+    static EnergyParams forGeneration(Generation generation);
 };
 
 /** Energy breakdown for one channel over a measurement window. */
@@ -57,8 +73,11 @@ struct EnergyBreakdown
         return activatePj + readPj + writePj + refreshPj + backgroundPj;
     }
 
-    /** Average power in milliwatts over @p cycles CPU cycles (5 GHz). */
-    double averageMw(Cycle cycles) const;
+    /**
+     * Average power in milliwatts over @p cycles CPU cycles at
+     * @p cyclesPerNs CPU cycles per nanosecond.
+     */
+    double averageMw(Cycle cycles, double cyclesPerNs) const;
 
     /** Energy per serviced column command (pJ/access). */
     double perAccessPj(const CommandCounts &counts) const;
@@ -66,14 +85,15 @@ struct EnergyBreakdown
 
 /**
  * Compute the energy breakdown implied by @p counts over @p elapsed CPU
- * cycles. Background power is split by bank utilization: bankBusyCycles
- * of the window's (banks x cycles) budget at active power, the rest at
- * standby power.
+ * cycles. Background power is split by bank state: bankBusyCycles of the
+ * window's (banks x cycles) budget at active power, powerDownBankCycles
+ * at power-down power, the rest at standby power.
  *
  * @param banksPerChannel number of banks behind the controller
+ * @param cyclesPerNs CPU cycles per nanosecond (TimingParams::cyclesPerNs)
  */
 EnergyBreakdown computeEnergy(const EnergyParams &params,
                               const CommandCounts &counts, Cycle elapsed,
-                              int banksPerChannel);
+                              int banksPerChannel, double cyclesPerNs);
 
 } // namespace tcm::dram

@@ -27,6 +27,13 @@ const char *const kConstraintNames[] = {
     "REF-row-open",  // RefRowOpen
     "tRFC",          // Trfc
     "tREFI-overdue", // RefreshOverdue
+    "tCCD_L",        // TccdL
+    "tRRD_L",        // TrrdL
+    "PDE-row-open",  // PdRowOpen
+    "PD-bad-state",  // PdBadState
+    "cmd-powered-down", // CmdWhilePoweredDown
+    "tCKE",          // Tcke
+    "tXP",           // Txp
 };
 static_assert(sizeof(kConstraintNames) / sizeof(kConstraintNames[0]) ==
                   static_cast<std::size_t>(Constraint::Count_),
@@ -67,6 +74,14 @@ ProtocolChecker::channelState(ChannelId ch)
         cs.banks.resize(timing_->banksPerChannel);
         cs.lastColPerRank.resize(timing_->ranksPerChannel);
         cs.hasColPerRank.assign(timing_->ranksPerChannel, false);
+        const int groups =
+            timing_->ranksPerChannel * timing_->bankGroupsPerRank;
+        cs.lastColPerGroup.resize(groups);
+        cs.hasColPerGroup.assign(groups, false);
+        for (RankState &rank : cs.ranks) {
+            rank.lastActPerGroup.resize(timing_->bankGroupsPerRank);
+            rank.hasActPerGroup.assign(timing_->bankGroupsPerRank, false);
+        }
     }
     return cs;
 }
@@ -156,9 +171,26 @@ ProtocolChecker::checkActivate(ChannelState &cs, const CommandEvent &ev)
     if (rank.hasRef && ev.cycle < rank.lastRef.cycle + timing_->tRFC)
         flag(Constraint::Trfc, ev, rank.lastRef.cycle + timing_->tRFC,
              &rank.lastRef);
-    if (rank.hasAct && ev.cycle < rank.lastAct.cycle + timing_->tRRD)
-        flag(Constraint::Trrd, ev, rank.lastAct.cycle + timing_->tRRD,
+    const bool grouped = timing_->bankGroupsPerRank > 1;
+    const int group = timing_->groupInRank(ev.bank);
+    if (grouped) {
+        // Cross-group spacing (tRRD_S) against any ACT in the rank;
+        // same-group spacing (tRRD_L) against the group's own last ACT.
+        if (rank.hasAct && ev.cycle < rank.lastAct.cycle + timing_->tRRD_S)
+            flag(Constraint::Trrd, ev, rank.lastAct.cycle + timing_->tRRD_S,
+                 &rank.lastAct);
+        if (rank.hasActPerGroup[group]) {
+            const CommandEvent &prev = rank.lastActPerGroup[group];
+            if (ev.cycle < prev.cycle + timing_->tRRD_L)
+                flag(Constraint::TrrdL, ev, prev.cycle + timing_->tRRD_L,
+                     &prev);
+        }
+    } else if (rank.hasAct &&
+               ev.cycle < rank.lastAct.cycle + timing_->tRRD_L) {
+        // Single bank group: tRRD_S == tRRD_L, the classic tRRD.
+        flag(Constraint::Trrd, ev, rank.lastAct.cycle + timing_->tRRD_L,
              &rank.lastAct);
+    }
     if (rank.actCount >= 4) {
         Cycle oldest = rank.actWindow[rank.actCount % 4];
         if (ev.cycle < oldest + timing_->tFAW)
@@ -173,6 +205,8 @@ ProtocolChecker::checkActivate(ChannelState &cs, const CommandEvent &ev)
     bank.hasWrite = false;
     rank.hasAct = true;
     rank.lastAct = ev;
+    rank.hasActPerGroup[group] = true;
+    rank.lastActPerGroup[group] = ev;
     rank.actWindow[rank.actCount % 4] = ev.cycle;
     ++rank.actCount;
 }
@@ -192,10 +226,27 @@ ProtocolChecker::checkColumn(ChannelState &cs, const CommandEvent &ev)
     if (bank.hasAct && ev.cycle < bank.lastAct.cycle + timing_->tRCD)
         flag(Constraint::Trcd, ev, bank.lastAct.cycle + timing_->tRCD,
              &bank.lastAct);
-    if (cs.hasColPerRank[ev.rank]) {
+    const bool grouped = timing_->bankGroupsPerRank > 1;
+    const int group = timing_->groupOfBank(ev.bank);
+    if (grouped) {
+        // Short spacing (tCCD_S) against any column command on the
+        // channel; long spacing (tCCD_L) against the last one to the
+        // same bank group.
+        if (cs.hasColChan &&
+            ev.cycle < cs.lastColChan.cycle + timing_->tCCD_S)
+            flag(Constraint::Tccd, ev,
+                 cs.lastColChan.cycle + timing_->tCCD_S, &cs.lastColChan);
+        if (cs.hasColPerGroup[group]) {
+            const CommandEvent &col = cs.lastColPerGroup[group];
+            if (ev.cycle < col.cycle + timing_->tCCD_L)
+                flag(Constraint::TccdL, ev, col.cycle + timing_->tCCD_L,
+                     &col);
+        }
+    } else if (cs.hasColPerRank[ev.rank]) {
+        // Single bank group: tCCD_S == tCCD_L, the classic tCCD.
         const CommandEvent &col = cs.lastColPerRank[ev.rank];
-        if (ev.cycle < col.cycle + timing_->tCCD)
-            flag(Constraint::Tccd, ev, col.cycle + timing_->tCCD, &col);
+        if (ev.cycle < col.cycle + timing_->tCCD_L)
+            flag(Constraint::Tccd, ev, col.cycle + timing_->tCCD_L, &col);
     }
     if (isRead && rank.hasWrite) {
         Cycle turnaround = rank.lastWrite.cycle + timing_->tCWL +
@@ -222,6 +273,10 @@ ProtocolChecker::checkColumn(ChannelState &cs, const CommandEvent &ev)
     cs.lastBurstCmd = ev;
     cs.hasColPerRank[ev.rank] = true;
     cs.lastColPerRank[ev.rank] = ev;
+    cs.hasColPerGroup[group] = true;
+    cs.lastColPerGroup[group] = ev;
+    cs.hasColChan = true;
+    cs.lastColChan = ev;
     if (isRead) {
         bank.hasRead = true;
         bank.lastRead = ev;
@@ -324,6 +379,49 @@ ProtocolChecker::checkRefresh(ChannelState &cs, const CommandEvent &ev)
 }
 
 void
+ProtocolChecker::checkPowerDown(ChannelState &cs, const CommandEvent &ev)
+{
+    RankState &rank = cs.ranks[ev.rank];
+    const int banksPerRank = timing_->banksPerRank();
+    const BankId base = static_cast<BankId>(ev.rank * banksPerRank);
+
+    if (rank.poweredDown)
+        flag(Constraint::PdBadState, ev, kCycleNever, &rank.lastPde);
+    for (BankId b = base; b < base + banksPerRank; ++b) {
+        if (cs.banks[b].openRow != kNoRow) {
+            CommandEvent ref = ev;
+            ref.bank = b;
+            flag(Constraint::PdRowOpen, ref, kCycleNever,
+                 cs.banks[b].hasAct ? &cs.banks[b].lastAct : nullptr);
+        }
+    }
+    if (rank.hasPdx && ev.cycle < rank.lastPdx.cycle + timing_->tXP)
+        flag(Constraint::Txp, ev, rank.lastPdx.cycle + timing_->tXP,
+             &rank.lastPdx);
+
+    rank.poweredDown = true;
+    rank.lastPde = ev;
+}
+
+void
+ProtocolChecker::checkPowerUp(ChannelState &cs, const CommandEvent &ev)
+{
+    RankState &rank = cs.ranks[ev.rank];
+
+    if (!rank.poweredDown) {
+        flag(Constraint::PdBadState, ev, kCycleNever,
+             rank.hasPdx ? &rank.lastPdx : nullptr);
+    } else if (ev.cycle < rank.lastPde.cycle + timing_->tCKE) {
+        flag(Constraint::Tcke, ev, rank.lastPde.cycle + timing_->tCKE,
+             &rank.lastPde);
+    }
+
+    rank.poweredDown = false;
+    rank.hasPdx = true;
+    rank.lastPdx = ev;
+}
+
+void
 ProtocolChecker::onCommand(const CommandEvent &ev)
 {
     ++eventsAudited_;
@@ -339,6 +437,21 @@ ProtocolChecker::onCommand(const CommandEvent &ev)
         flag(Constraint::CmdBusConflict, ev,
              cs.lastCmd.cycle + timing_->tCK, &cs.lastCmd);
 
+    // Power-state discipline for everything except the PDE/PDX pair
+    // itself: a powered-down rank accepts no commands, and after a PDX
+    // the rank stays locked out for tXP.
+    if (ev.kind != CommandKind::PowerDown &&
+        ev.kind != CommandKind::PowerUp) {
+        RankState &rank = cs.ranks[ev.rank];
+        if (rank.poweredDown)
+            flag(Constraint::CmdWhilePoweredDown, ev, kCycleNever,
+                 &rank.lastPde);
+        else if (rank.hasPdx &&
+                 ev.cycle < rank.lastPdx.cycle + timing_->tXP)
+            flag(Constraint::Txp, ev, rank.lastPdx.cycle + timing_->tXP,
+                 &rank.lastPdx);
+    }
+
     switch (ev.kind) {
       case CommandKind::Activate:
         checkActivate(cs, ev);
@@ -352,6 +465,12 @@ ProtocolChecker::onCommand(const CommandEvent &ev)
         break;
       case CommandKind::Refresh:
         checkRefresh(cs, ev);
+        break;
+      case CommandKind::PowerDown:
+        checkPowerDown(cs, ev);
+        break;
+      case CommandKind::PowerUp:
+        checkPowerUp(cs, ev);
         break;
     }
 

@@ -1,27 +1,34 @@
 /**
  * @file
- * Independent DDR2 protocol checker.
+ * Independent per-protocol (DDR2/DDR3/DDR4) checker.
  *
  * The DRAM model (`Bank`/`Rank`/`Channel`) enforces timing legality with
  * its own earliest-issue registers and `assert`s — which makes the
  * component under test its own referee. `ProtocolChecker` is the
  * independent one: it subscribes to the raw command stream through the
- * `CommandObserver` hook and re-derives every DDR2 constraint from the
- * trace of `{cycle, channel, rank, bank, kind, row}` events alone. It
- * shares no timing-tracking code or state with the model it audits; its
- * only inputs are `TimingParams` (the datasheet numbers) and the events.
+ * `CommandObserver` hook and re-derives every constraint of the
+ * configured protocol from the trace of
+ * `{cycle, channel, rank, bank, kind, row}` events alone. It shares no
+ * timing-tracking code or state with the model it audits; its only
+ * inputs are `TimingParams` (the datasheet numbers and geometry) and the
+ * events.
  *
  * Checked constraints (one counter each):
  *   per bank   : ACT-to-ACT (tRC), PRE-to-ACT (tRP), ACT-to-col (tRCD),
  *                ACT-to-PRE (tRAS), RD-to-PRE (tRTP), WR-recovery (tWR),
  *                ACT with row open, column command to a closed bank or
  *                the wrong row, PRE with no row open
- *   per rank   : ACT-to-ACT (tRRD), rolling four-activate window (tFAW),
- *                WR-to-RD turnaround (tWTR), refresh with a row open,
- *                post-refresh lockout (tRFC), tREFI refresh obligation
+ *   per rank   : ACT-to-ACT (tRRD — split into tRRD_S/tRRD_L across and
+ *                within bank groups when the protocol defines groups),
+ *                rolling four-activate window (tFAW), WR-to-RD
+ *                turnaround (tWTR), refresh with a row open,
+ *                post-refresh lockout (tRFC), tREFI refresh obligation,
+ *                power-down discipline (PDE with a row open, commands to
+ *                a powered-down rank, tCKE residency, tXP exit latency)
  *   per channel: one command per tCK on the command bus, data-bus burst
  *                overlap including the tRTRS rank-switch gap, column
- *                command spacing (tCCD)
+ *                command spacing (tCCD — split into tCCD_S/tCCD_L when
+ *                the protocol defines bank groups)
  *
  * Violations are never asserted — they are recorded as data (a detailed
  * report for the first few, a per-constraint counter for all), so the
@@ -64,6 +71,13 @@ enum class Constraint : std::size_t
     RefRowOpen,      //!< REF while some bank of the rank has a row open
     Trfc,            //!< ACT/REF inside tRFC after a refresh
     RefreshOverdue,  //!< rank exceeded its refresh deadline (see params)
+    TccdL,           //!< same-group column command sooner than tCCD_L
+    TrrdL,           //!< same-group ACT sooner than tRRD_L
+    PdRowOpen,       //!< PDE while some bank of the rank has a row open
+    PdBadState,      //!< PDE while already down, or PDX while up
+    CmdWhilePoweredDown, //!< any command to a powered-down rank
+    Tcke,            //!< PDX sooner than tCKE after the PDE
+    Txp,             //!< command sooner than tXP after a PDX
     Count_,
 };
 
@@ -178,19 +192,35 @@ class ProtocolChecker : public CommandObserver
         bool hasRef = false;
         CommandEvent lastRef;
         Cycle lastRefCycle = 0; //!< tREFI bookkeeping (run start = 0)
+        // Same-group ACT spacing (tRRD_L), indexed by group-in-rank;
+        // unused when the protocol has a single bank group.
+        std::vector<CommandEvent> lastActPerGroup;
+        std::vector<bool> hasActPerGroup;
+        // Power-down discipline.
+        bool poweredDown = false;
+        CommandEvent lastPde;
+        bool hasPdx = false;
+        CommandEvent lastPdx;
     };
 
     struct ChannelState
     {
         bool hasCmd = false;
         CommandEvent lastCmd;
-        bool hasCol = false;    //!< per-channel; tCCD checked per rank
         bool hasBurst = false;
         CommandEvent lastBurstCmd;
         Cycle burstEnd = 0;
         int burstRank = -1;
+        // Single-group protocols: column spacing (tCCD) audited per
+        // rank, as always. Grouped protocols: tCCD_S audited against
+        // the channel-wide last column command and tCCD_L against the
+        // last column command to the same global bank group.
         std::vector<CommandEvent> lastColPerRank;
         std::vector<bool> hasColPerRank;
+        std::vector<CommandEvent> lastColPerGroup;
+        std::vector<bool> hasColPerGroup;
+        bool hasColChan = false;
+        CommandEvent lastColChan;
         std::vector<RankState> ranks;
         std::vector<BankState> banks;
     };
@@ -202,6 +232,8 @@ class ProtocolChecker : public CommandObserver
     void checkPrecharge(ChannelState &cs, const CommandEvent &ev);
     void checkAutoPrecharge(ChannelState &cs, const CommandEvent &ev);
     void checkRefresh(ChannelState &cs, const CommandEvent &ev);
+    void checkPowerDown(ChannelState &cs, const CommandEvent &ev);
+    void checkPowerUp(ChannelState &cs, const CommandEvent &ev);
 
     /** Effective precharge-start lower bound for a row epoch's events. */
     Cycle epochPreStart(const BankState &bank) const;

@@ -10,10 +10,16 @@ Rank::Rank(const TimingParams &timing) : timing_(&timing)
 }
 
 bool
-Rank::canActivate(Cycle now) const
+Rank::canActivate(Cycle now, int group) const
 {
-    if (now < actAllowedAt_)
+    if (!commandsAllowed(now))
         return false;
+    if (lastActGroup_ >= 0) {
+        Cycle spacing = group == lastActGroup_ ? timing_->tRRD_L
+                                               : timing_->tRRD_S;
+        if (now < lastActAt_ + spacing)
+            return false;
+    }
     // The oldest of the last four ACTs must be at least tFAW in the past.
     Cycle oldest = actHistory_[actHistoryPos_];
     return oldest == kCycleNever || now >= oldest + timing_->tFAW;
@@ -26,19 +32,27 @@ Rank::canRead(Cycle now) const
 }
 
 void
-Rank::recordActivate(Cycle now)
+Rank::recordActivate(Cycle now, int group)
 {
-    actAllowedAt_ = now + timing_->tRRD;
+    lastActAt_ = now;
+    lastActGroup_ = group;
     actHistory_[actHistoryPos_] = now;
     actHistoryPos_ = (actHistoryPos_ + 1) % 4;
 }
 
 Cycle
-Rank::earliestActivate() const
+Rank::earliestActivate(int group) const
 {
+    Cycle t = earliestCommandsAllowed();
+    if (lastActGroup_ >= 0) {
+        Cycle spacing = group == lastActGroup_ ? timing_->tRRD_L
+                                               : timing_->tRRD_S;
+        t = std::max(t, lastActAt_ + spacing);
+    }
     Cycle oldest = actHistory_[actHistoryPos_];
-    Cycle faw = oldest == kCycleNever ? 0 : oldest + timing_->tFAW;
-    return std::max(actAllowedAt_, faw);
+    if (oldest != kCycleNever)
+        t = std::max(t, oldest + timing_->tFAW);
+    return t;
 }
 
 void
@@ -46,6 +60,63 @@ Rank::recordWrite(Cycle now)
 {
     Cycle data_end = now + timing_->tCWL + timing_->tBURST;
     rdAllowedAt_ = std::max(rdAllowedAt_, data_end + timing_->tWTR);
+}
+
+bool
+Rank::canPowerDown(Cycle now) const
+{
+    return !poweredDown_ && now >= pdExitAt_;
+}
+
+bool
+Rank::canPowerUp(Cycle now) const
+{
+    return poweredDown_ && now >= pdSince_ + timing_->tCKE;
+}
+
+void
+Rank::recordPowerDown(Cycle now)
+{
+    poweredDown_ = true;
+    pdSince_ = now;
+}
+
+void
+Rank::recordPowerUp(Cycle now)
+{
+    poweredDown_ = false;
+    pdAccum_ += now - pdSince_;
+    pdExitAt_ = now + timing_->tXP;
+}
+
+Cycle
+Rank::earliestPowerUp() const
+{
+    return poweredDown_ ? pdSince_ + timing_->tCKE : kCycleNever;
+}
+
+bool
+Rank::commandsAllowed(Cycle now) const
+{
+    return !poweredDown_ && now >= pdExitAt_;
+}
+
+Cycle
+Rank::earliestCommandsAllowed() const
+{
+    // A powered-down rank needs a PowerUp (no sooner than tCKE after
+    // entry) plus the tXP exit latency before the first command.
+    if (poweredDown_)
+        return pdSince_ + timing_->tCKE + timing_->tXP;
+    return pdExitAt_;
+}
+
+Cycle
+Rank::powerDownCycles(Cycle now) const
+{
+    if (poweredDown_ && now > pdSince_)
+        return pdAccum_ + (now - pdSince_);
+    return pdAccum_;
 }
 
 } // namespace tcm::dram

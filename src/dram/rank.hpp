@@ -1,6 +1,7 @@
 /**
  * @file
- * Rank-level DRAM timing constraints (tRRD, tFAW, write-to-read turnaround).
+ * Rank-level DRAM timing constraints (tRRD, tFAW, write-to-read
+ * turnaround) and the per-rank power-down state machine.
  */
 
 #pragma once
@@ -14,38 +15,85 @@ namespace tcm::dram {
 
 /**
  * Tracks constraints that span all banks of one rank: activate-to-activate
- * spacing (tRRD), the rolling four-activate window (tFAW), and the
- * write-to-read turnaround (tWTR).
+ * spacing (tRRD_S/tRRD_L, split by bank group), the rolling four-activate
+ * window (tFAW), the write-to-read turnaround (tWTR), and the precharge
+ * power-down state (entered/exited by the controller's PowerDown/PowerUp
+ * commands; tCKE bounds the minimum residency, tXP delays the first valid
+ * command after exit).
  */
 class Rank
 {
   public:
     explicit Rank(const TimingParams &timing);
 
-    /** True if an ACT to any bank may issue at @p now. */
-    bool canActivate(Cycle now) const;
+    /** True if an ACT to bank group @p group may issue at @p now. */
+    bool canActivate(Cycle now, int group) const;
 
     /** True if a RD may issue at @p now (tWTR satisfied). */
     bool canRead(Cycle now) const;
 
-    /** Record an issued ACT at @p now. */
-    void recordActivate(Cycle now);
+    /** Record an issued ACT to bank group @p group at @p now. */
+    void recordActivate(Cycle now, int group);
 
     /** Record an issued WR at @p now (arms the tWTR turnaround). */
     void recordWrite(Cycle now);
 
-    /** Earliest cycle an ACT could issue (tRRD and tFAW combined). */
-    Cycle earliestActivate() const;
+    /** Earliest cycle an ACT to @p group could issue (tRRD, tFAW, tXP). */
+    Cycle earliestActivate(int group) const;
 
     /** Earliest cycle a RD could issue (tWTR). */
     Cycle earliestRead() const { return rdAllowedAt_; }
 
+    // -- Power-down -----------------------------------------------------------
+
+    /** True when the rank is in precharge power-down. */
+    bool poweredDown() const { return poweredDown_; }
+
+    /** True if a PowerDown command may issue at @p now (tXP honored). */
+    bool canPowerDown(Cycle now) const;
+
+    /** True if a PowerUp command may issue at @p now (tCKE residency). */
+    bool canPowerUp(Cycle now) const;
+
+    /** Enter power-down at @p now. */
+    void recordPowerDown(Cycle now);
+
+    /** Exit power-down at @p now; commands legal from now + tXP. */
+    void recordPowerUp(Cycle now);
+
+    /** Earliest cycle a PowerUp could issue (kCycleNever when not down). */
+    Cycle earliestPowerUp() const;
+
+    /**
+     * True when rank-scoped commands (ACT, REF) are not blocked by the
+     * power state: the rank is up and tXP since the last exit elapsed.
+     */
+    bool commandsAllowed(Cycle now) const;
+
+    /**
+     * Lower bound on the first cycle commandsAllowed could hold, assuming
+     * a PowerUp issues as early as legal when the rank is down.
+     */
+    Cycle earliestCommandsAllowed() const;
+
+    /**
+     * Cycles spent in power-down through @p now, including the current
+     * residency when still down (energy accounting).
+     */
+    Cycle powerDownCycles(Cycle now) const;
+
   private:
     const TimingParams *timing_;
-    Cycle actAllowedAt_ = 0;     //!< next ACT per tRRD
+    Cycle lastActAt_ = 0;        //!< most recent ACT (tRRD base)
+    int lastActGroup_ = -1;      //!< its bank group; -1 = no ACT yet
     Cycle rdAllowedAt_ = 0;      //!< next RD per tWTR
     std::array<Cycle, 4> actHistory_{}; //!< circular buffer for tFAW
     int actHistoryPos_ = 0;
+
+    bool poweredDown_ = false;
+    Cycle pdSince_ = 0;          //!< entry cycle of the current residency
+    Cycle pdExitAt_ = 0;         //!< last PowerUp + tXP (command gate)
+    Cycle pdAccum_ = 0;          //!< completed power-down cycles
 };
 
 } // namespace tcm::dram

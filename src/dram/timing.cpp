@@ -2,74 +2,26 @@
 
 #include <cmath>
 
+#include "dram/protocol.hpp"
+
 namespace tcm::dram {
 
 Cycle
-TimingParams::ns(double nanoseconds)
+TimingParams::ns(double nanoseconds) const
 {
-    return static_cast<Cycle>(std::llround(nanoseconds * kCyclesPerNs));
+    return static_cast<Cycle>(std::llround(nanoseconds * cyclesPerNs));
 }
 
 TimingParams
 TimingParams::ddr2_800()
 {
-    TimingParams p{};
-    p.tCK = ns(2.5);
-    p.tCL = ns(15.0);
-    p.tCWL = ns(12.5);
-    p.tRCD = ns(15.0);
-    p.tRP = ns(15.0);
-    p.tRAS = ns(45.0);
-    p.tRC = ns(60.0);
-    p.tBURST = ns(10.0);
-    p.tCCD = ns(5.0);
-    p.tRRD = ns(7.5);
-    p.tWR = ns(15.0);
-    p.tWTR = ns(7.5);
-    p.tRTP = ns(7.5);
-    p.tFAW = ns(37.5);
-    p.tRTRS = ns(5.0);
-    p.tREFI = ns(7800.0);
-    p.tRFC = ns(127.5);
-    p.cpuToMcDelay = 40;
-    p.mcToCpuDelay = 35;
-    p.banksPerChannel = 4;
-    p.ranksPerChannel = 1;
-    p.rowsPerBank = 16384;
-    p.colsPerRow = 64;
-    p.refreshEnabled = true;
-    return p;
+    return protocols::ddr2_800().derive();
 }
 
 TimingParams
 TimingParams::ddr3_1333()
 {
-    TimingParams p{};
-    p.tCK = ns(1.5);
-    p.tCL = ns(13.5);
-    p.tCWL = ns(10.5);
-    p.tRCD = ns(13.5);
-    p.tRP = ns(13.5);
-    p.tRAS = ns(36.0);
-    p.tRC = ns(49.5);
-    p.tBURST = ns(6.0); // BL8 at 1333 MT/s
-    p.tCCD = ns(6.0);
-    p.tRRD = ns(6.0);
-    p.tWR = ns(15.0);
-    p.tWTR = ns(7.5);
-    p.tRTP = ns(7.5);
-    p.tFAW = ns(30.0);
-    p.tRTRS = ns(3.0);
-    p.tREFI = ns(7800.0);
-    p.tRFC = ns(160.0);
-    p.cpuToMcDelay = 40;
-    p.mcToCpuDelay = 35;
-    p.banksPerChannel = 8;
-    p.ranksPerChannel = 1;
-    p.rowsPerBank = 16384;
-    p.colsPerRow = 64;
-    p.refreshEnabled = true;
-    return p;
+    return protocols::ddr3_1333().derive();
 }
 
 } // namespace tcm::dram

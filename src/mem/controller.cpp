@@ -30,6 +30,7 @@ MemoryController::MemoryController(ChannelId id,
                 ? timing.tREFI + r * (timing.tREFI / timing.ranksPerChannel)
                 : kCycleNever;
     }
+    rankLastActiveAt_.resize(timing.ranksPerChannel, 0);
     openRowScratch_.resize(timing.banksPerChannel, kNoRow);
 }
 
@@ -240,10 +241,20 @@ MemoryController::refreshEngine(Cycle now)
             continue;
         pending = true;
         BankId base = static_cast<BankId>(r * banks_per_rank);
+        // A powered-down rank cannot accept a refresh: power it up first
+        // (tCKE permitting) and keep holding the command slot.
+        if (channel_.rankPoweredDown(r)) {
+            if (channel_.canIssue(CommandKind::PowerUp, base, now)) {
+                channel_.issue(CommandKind::PowerUp, base, kNoRow, now);
+                ++stats_.powerUps;
+            }
+            return true;
+        }
         if (channel_.canIssue(CommandKind::Refresh, base, now)) {
             channel_.issue(CommandKind::Refresh, base, kNoRow, now);
             ++stats_.refreshes;
             refreshDueAt_[r] += timing_->tREFI;
+            rankLastActiveAt_[r] = now;
             return true;
         }
         // Work toward a rank-precharged state; one PRE per cycle.
@@ -259,6 +270,95 @@ MemoryController::refreshEngine(Cycle now)
     }
     // While a refresh is owed, the command slot is reserved for it.
     return pending;
+}
+
+bool
+MemoryController::rankHasQueuedWork(int rank) const
+{
+    for (const Request &r : queue_.reads())
+        if (channel_.rankOf(r.bank) == rank)
+            return true;
+    for (const Request &r : queue_.writes())
+        if (channel_.rankOf(r.bank) == rank)
+            return true;
+    return false;
+}
+
+bool
+MemoryController::powerManagement(Cycle now)
+{
+    const int banks_per_rank = timing_->banksPerRank();
+    for (int r = 0; r < channel_.numRanks(); ++r) {
+        BankId base = static_cast<BankId>(r * banks_per_rank);
+        if (channel_.rankPoweredDown(r)) {
+            // Wake the rank as soon as work is queued for it (refresh
+            // wake-ups are the refresh engine's job).
+            if (rankHasQueuedWork(r) &&
+                channel_.canIssue(CommandKind::PowerUp, base, now)) {
+                channel_.issue(CommandKind::PowerUp, base, kNoRow, now);
+                ++stats_.powerUps;
+                rankLastActiveAt_[r] = now;
+                return true;
+            }
+            continue;
+        }
+        if (now < rankLastActiveAt_[r] + params_.powerDownIdleCycles ||
+            rankHasQueuedWork(r))
+            continue;
+        // Idle long enough: close open banks (one per cycle), then enter
+        // power-down. These precharges intentionally do not refresh the
+        // idle stamp, or each would push the entry out by a full
+        // threshold.
+        if (channel_.canIssue(CommandKind::PowerDown, base, now)) {
+            channel_.issue(CommandKind::PowerDown, base, kNoRow, now);
+            ++stats_.powerDowns;
+            return true;
+        }
+        if (channel_.cmdBusFree(now)) {
+            for (BankId b = base; b < base + banks_per_rank; ++b) {
+                if (channel_.canIssue(CommandKind::Precharge, b, now)) {
+                    channel_.issue(CommandKind::Precharge, b, kNoRow, now);
+                    ++stats_.precharges;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::trySpeculativePrecharge(Cycle now, Cycle &nextPossible)
+{
+    // Close open banks that no queued request targets; demand precharges
+    // (row conflicts) already belong to the scheduling scans.
+    for (int b = 0; b < channel_.numBanks(); ++b) {
+        if (channel_.bank(b).precharged())
+            continue;
+        bool wanted = false;
+        for (const Request &r : queue_.reads())
+            if (r.bank == b) {
+                wanted = true;
+                break;
+            }
+        if (!wanted)
+            for (const Request &r : queue_.writes())
+                if (r.bank == b) {
+                    wanted = true;
+                    break;
+                }
+        if (wanted)
+            continue;
+        if (channel_.canIssue(CommandKind::Precharge, b, now)) {
+            channel_.issue(CommandKind::Precharge, b, kNoRow, now);
+            ++stats_.precharges;
+            ++stats_.speculativePrecharges;
+            return true;
+        }
+        nextPossible = std::min(
+            nextPossible, channel_.earliestIssue(CommandKind::Precharge, b));
+    }
+    return false;
 }
 
 bool
@@ -383,6 +483,7 @@ MemoryController::issueSelected(std::vector<Request> &candidates,
     Request req = candidates[best]; // copy: removal invalidates references
     dram::IssueResult res = channel_.issue(cmd, req.bank, req.row, now);
     stats_.bankBusyCycles += res.occupancy;
+    rankLastActiveAt_[channel_.rankOf(req.bank)] = now;
     if (deferring_)
         deferredHooks_.push_back(DeferredHook{
             DeferredHook::Kind::Command, cmd, now, res.occupancy, req});
@@ -440,7 +541,9 @@ MemoryController::issueSelected(std::vector<Request> &candidates,
         maybeAutoPrecharge(req);
         break;
       case CommandKind::Refresh:
-        break;
+      case CommandKind::PowerDown:
+      case CommandKind::PowerUp:
+        break; // issued by the refresh/power engines, never selected here
     }
 }
 
@@ -479,6 +582,11 @@ MemoryController::tick(Cycle now)
         return;
     }
 
+    if (params_.powerDownIdleCycles > 0 && powerManagement(now)) {
+        nextTryAt_ = now; // power state moved; rescan next cycle
+        return;
+    }
+
     if (params_.idleSkip && now < nextTryAt_)
         return;
 
@@ -488,12 +596,13 @@ MemoryController::tick(Cycle now)
     // Decide whether this cycle serves the read stream or drains writes.
     if (drainingWrites_) {
         if (queue_.writes().size() <=
-            static_cast<std::size_t>(params_.drainLowWatermark)) {
+            static_cast<std::size_t>(params_.writeDrain.lowWatermark)) {
             drainingWrites_ = false;
         }
     } else if (queue_.writes().size() >=
-               static_cast<std::size_t>(params_.drainHighWatermark)) {
+               static_cast<std::size_t>(params_.writeDrain.highWatermark)) {
         drainingWrites_ = true;
+        ++stats_.writeDrains;
     }
 
     // Lower bound on the next cycle a command could issue, refined by
@@ -507,9 +616,16 @@ MemoryController::tick(Cycle now)
             nextTryAt_ = now + timing_->tCK;
             return;
         }
-        // While draining, still make progress on reads if no write can
-        // issue this cycle (keeps the bus utilized).
-        if (tryIssueReads(now, next_possible)) {
+        // Opportunistic drains still make progress on reads if no write
+        // can issue this cycle (keeps the bus utilized); Strict reserves
+        // the whole latched drain for writes.
+        if (params_.writeDrain.mode == WriteDrainMode::Opportunistic &&
+            tryIssueReads(now, next_possible)) {
+            nextTryAt_ = now + timing_->tCK;
+            return;
+        }
+        if (params_.speculativePrecharge &&
+            trySpeculativePrecharge(now, next_possible)) {
             nextTryAt_ = now + timing_->tCK;
             return;
         }
@@ -523,6 +639,11 @@ MemoryController::tick(Cycle now)
     }
     // Opportunistic write issue when the read stream cannot use the slot.
     if (tryIssue(queue_.writes(), now, next_possible)) {
+        nextTryAt_ = now + timing_->tCK;
+        return;
+    }
+    if (params_.speculativePrecharge &&
+        trySpeculativePrecharge(now, next_possible)) {
         nextTryAt_ = now + timing_->tCK;
         return;
     }
@@ -557,6 +678,65 @@ MemoryController::nextEventAt(Cycle now) const
     if (!queue_.reads().empty() || !queue_.writes().empty())
         horizon = std::min(horizon,
                            std::max(nextTryAt_, channel_.cmdBusFreeAt()));
+
+    // A pending speculative precharge is scan-independent work: it can
+    // issue even with empty queues (which the scan horizon above does
+    // not cover), so fold the earliest eligible one.
+    if (params_.speculativePrecharge) {
+        for (int b = 0; b < channel_.numBanks(); ++b) {
+            if (channel_.bank(b).precharged())
+                continue;
+            bool wanted = false;
+            for (const Request &r : queue_.reads())
+                if (r.bank == b) {
+                    wanted = true;
+                    break;
+                }
+            if (!wanted)
+                for (const Request &r : queue_.writes())
+                    if (r.bank == b) {
+                        wanted = true;
+                        break;
+                    }
+            if (!wanted)
+                horizon = std::min(
+                    horizon,
+                    channel_.earliestIssue(dram::CommandKind::Precharge, b));
+        }
+    }
+
+    // Power-management events (powerDownIdleCycles > 0): a pending
+    // wake-up, or an idle rank's next precharge/PowerDown step. Skipping
+    // past these would shift when PDE/PDX issue and break cross-mode
+    // trace identity.
+    if (params_.powerDownIdleCycles > 0) {
+        const int banks_per_rank = timing_->banksPerRank();
+        for (int r = 0; r < channel_.numRanks(); ++r) {
+            BankId base = static_cast<BankId>(r * banks_per_rank);
+            if (channel_.rankPoweredDown(r)) {
+                // Stays down until work arrives (arrival horizon above)
+                // or refresh comes due (refresh horizon above); a
+                // pending wake-up waits only on tCKE and the bus.
+                if (rankHasQueuedWork(r))
+                    horizon = std::min(
+                        horizon, std::max(channel_.rankPowerUpAllowedAt(r),
+                                          channel_.cmdBusFreeAt()));
+                continue;
+            }
+            if (rankHasQueuedWork(r))
+                continue;
+            Cycle idleAt =
+                rankLastActiveAt_[r] + params_.powerDownIdleCycles;
+            Cycle step =
+                channel_.earliestIssue(dram::CommandKind::PowerDown, base);
+            for (BankId b = base; b < base + banks_per_rank; ++b)
+                step = std::min(step,
+                                channel_.earliestIssue(
+                                    dram::CommandKind::Precharge, b));
+            if (step != kCycleNever)
+                horizon = std::min(horizon, std::max(idleAt, step));
+        }
+    }
 
     return std::max(horizon, now);
 }

@@ -39,6 +39,27 @@ enum class PagePolicy
     Closed,
 };
 
+/**
+ * Write-drain behavior while the queue sits between the watermarks.
+ * Opportunistic (the baseline) keeps serving reads whenever no write can
+ * issue in a drain cycle; Strict reserves the whole latched drain for
+ * writes (USIMM's HI_WM/LO_WM scheme), trading read latency for drain
+ * throughput.
+ */
+enum class WriteDrainMode
+{
+    Opportunistic,
+    Strict,
+};
+
+/** Watermark-latched write-drain policy (USIMM HI_WM/LO_WM). */
+struct WriteDrainPolicy
+{
+    WriteDrainMode mode = WriteDrainMode::Opportunistic;
+    int highWatermark = 48; //!< start draining at this occupancy
+    int lowWatermark = 16;  //!< stop draining at this occupancy
+};
+
 /** Controller configuration (Table 3 defaults). */
 struct ControllerParams
 {
@@ -46,8 +67,23 @@ struct ControllerParams
 
     int readQueueCap = 128;  //!< request buffer entries
     int writeQueueCap = 64;  //!< write data buffer entries
-    int drainHighWatermark = 48; //!< start write drain at this occupancy
-    int drainLowWatermark = 16;  //!< stop write drain at this occupancy
+    WriteDrainPolicy writeDrain; //!< watermark-latched write drain
+
+    /**
+     * Close open banks that no queued request targets when the command
+     * slot would otherwise go unused (USIMM-style speculative precharge).
+     * Off by default; the baseline command traces assume pure demand
+     * precharging.
+     */
+    bool speculativePrecharge = false;
+
+    /**
+     * Enter precharge power-down after a rank has been idle (no commands
+     * issued to it and nothing queued for it) this many cycles. 0
+     * disables power management entirely — the default, preserving the
+     * baseline command traces bit-for-bit.
+     */
+    Cycle powerDownIdleCycles = 0;
 
     /**
      * Skip scheduling scans until a command could possibly issue
@@ -70,6 +106,10 @@ struct ControllerStats
     std::uint64_t rowHits = 0;     //!< column commands to an already-open row
     std::uint64_t rowMisses = 0;   //!< column commands that needed an ACT
     std::uint64_t bankBusyCycles = 0; //!< sum of command occupancies
+    std::uint64_t writeDrains = 0; //!< high-watermark drain latches
+    std::uint64_t speculativePrecharges = 0; //!< spec-PRE issues
+    std::uint64_t powerDowns = 0;  //!< PowerDown commands issued
+    std::uint64_t powerUps = 0;    //!< PowerUp commands issued
 
     void
     reset()
@@ -338,6 +378,24 @@ class MemoryController : public QueueAccess
     /** Progress the refresh engine; true if it consumed the command slot. */
     bool refreshEngine(Cycle now);
 
+    /**
+     * Per-rank power management (powerDownIdleCycles > 0): powers a rank
+     * back up when work arrives for it, and walks an idle rank down
+     * (precharge open banks, then PowerDown). True if it consumed the
+     * command slot.
+     */
+    bool powerManagement(Cycle now);
+
+    /** True when any queued read or write targets rank @p rank. */
+    bool rankHasQueuedWork(int rank) const;
+
+    /**
+     * Speculative precharge: close one open bank no queued request
+     * targets. On failure lowers @p nextPossible to the earliest cycle a
+     * speculative precharge could issue. True if one issued.
+     */
+    bool trySpeculativePrecharge(Cycle now, Cycle &nextPossible);
+
     /** Closed-page policy: auto-precharge after a column command. */
     void maybeAutoPrecharge(const Request &served);
 
@@ -354,6 +412,7 @@ class MemoryController : public QueueAccess
     prof::ControllerShard *prof_ = nullptr;
     bool drainingWrites_ = false;
     std::vector<Cycle> refreshDueAt_; //!< per rank, staggered
+    std::vector<Cycle> rankLastActiveAt_; //!< last scheduler/refresh command
     Cycle nextTryAt_ = 0; //!< idle fast-path: no scan before this cycle
     std::uint64_t nextSeq_ = 0;
 

@@ -70,7 +70,8 @@ SystemReport::collect(const Simulator &sim,
         report.threads.push_back(tr);
     }
 
-    dram::EnergyParams energy = dram::EnergyParams::ddr2_800();
+    dram::EnergyParams energy =
+        dram::EnergyParams::forGeneration(cfg.timing.generation);
     for (ChannelId ch = 0; ch < cfg.numChannels; ++ch) {
         const mem::ControllerStats &s = sim.controllerStats(ch);
         ChannelReport cr;
@@ -90,8 +91,9 @@ SystemReport::collect(const Simulator &sim,
         cr.averagePowerMw =
             dram::computeEnergy(energy, sim.commandCounts(ch),
                                 report.measuredCycles,
-                                cfg.timing.banksPerChannel)
-                .averageMw(report.measuredCycles);
+                                cfg.timing.banksPerChannel,
+                                cfg.timing.cyclesPerNs)
+                .averageMw(report.measuredCycles, cfg.timing.cyclesPerNs);
         report.channels.push_back(cr);
     }
 

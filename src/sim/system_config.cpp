@@ -2,6 +2,20 @@
 
 namespace tcm::sim {
 
+std::string
+SystemConfig::selectProtocol(const std::string &name)
+{
+    dram::ProtocolLookup lookup = dram::protocolByName(name);
+    if (!lookup.ok)
+        return lookup.error;
+    std::string invalid = lookup.spec.validate();
+    if (!invalid.empty())
+        return invalid;
+    protocol = lookup.spec.name;
+    timing = lookup.spec.derive();
+    return {};
+}
+
 workload::Geometry
 SystemConfig::geometry() const
 {

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/core.hpp"
+#include "dram/protocol.hpp"
 #include "dram/timing.hpp"
 #include "mem/controller.hpp"
 #include "prof/profiler.hpp"
@@ -24,9 +26,23 @@ struct SystemConfig
 {
     int numCores = 24;
     int numChannels = 4;
+
+    /**
+     * Registry name of the DRAM protocol `timing` was derived from
+     * (kept in sync by selectProtocol; informational otherwise).
+     */
+    std::string protocol = "ddr2-800";
     dram::TimingParams timing = dram::TimingParams::ddr2_800();
     core::CoreParams core;
     mem::ControllerParams controller;
+
+    /**
+     * Re-derive `timing` from the named protocol preset ("ddr2-800",
+     * "ddr3-1333", "ddr3-1600", "ddr4-2400"). Returns an empty string on
+     * success, else the registry's structured error naming the valid
+     * protocols (config untouched).
+     */
+    std::string selectProtocol(const std::string &name);
 
     /**
      * Models the Table 8 cache-size sweep: MPKI scales inversely-ish with

@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for the DDR2 timing model: bank/rank/channel state machines
- * and the address interleave.
+ * Unit tests for the DRAM timing model: protocol specs, bank/rank/channel
+ * state machines, bank-group and power-down constraints, and the address
+ * interleave.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include "dram/address.hpp"
 #include "dram/bank.hpp"
 #include "dram/channel.hpp"
+#include "dram/protocol.hpp"
 #include "dram/rank.hpp"
 #include "dram/timing.hpp"
 
@@ -33,10 +35,12 @@ noRefreshTiming()
 
 TEST(Timing, NsConversionRoundsAtFiveGigahertz)
 {
-    EXPECT_EQ(TimingParams::ns(15.0), 75u);
-    EXPECT_EQ(TimingParams::ns(2.5), 13u);  // 12.5 rounds up
-    EXPECT_EQ(TimingParams::ns(10.0), 50u);
-    EXPECT_EQ(TimingParams::ns(0.0), 0u);
+    TimingParams t = TimingParams::ddr2_800();
+    ASSERT_EQ(t.cyclesPerNs, 5.0);
+    EXPECT_EQ(t.ns(15.0), 75u);
+    EXPECT_EQ(t.ns(2.5), 13u);  // 12.5 rounds up
+    EXPECT_EQ(t.ns(10.0), 50u);
+    EXPECT_EQ(t.ns(0.0), 0u);
 }
 
 TEST(Timing, Ddr2BaselineMatchesTableThree)
@@ -153,10 +157,10 @@ TEST(Rank, TrrdSeparatesActivates)
 {
     TimingParams t = noRefreshTiming();
     Rank rank(t);
-    EXPECT_TRUE(rank.canActivate(0));
-    rank.recordActivate(0);
-    EXPECT_FALSE(rank.canActivate(t.tRRD - 1));
-    EXPECT_TRUE(rank.canActivate(t.tRRD));
+    EXPECT_TRUE(rank.canActivate(0, 0));
+    rank.recordActivate(0, 0);
+    EXPECT_FALSE(rank.canActivate(t.tRRD_L - 1, 0));
+    EXPECT_TRUE(rank.canActivate(t.tRRD_L, 0));
 }
 
 TEST(Rank, FourActivateWindowEnforced)
@@ -165,13 +169,13 @@ TEST(Rank, FourActivateWindowEnforced)
     Rank rank(t);
     Cycle now = 0;
     for (int i = 0; i < 4; ++i) {
-        EXPECT_TRUE(rank.canActivate(now));
-        rank.recordActivate(now);
-        now += t.tRRD;
+        EXPECT_TRUE(rank.canActivate(now, 0));
+        rank.recordActivate(now, 0);
+        now += t.tRRD_L;
     }
     // The fifth ACT must wait until tFAW after the first.
-    EXPECT_FALSE(rank.canActivate(now));
-    EXPECT_TRUE(rank.canActivate(t.tFAW));
+    EXPECT_FALSE(rank.canActivate(now, 0));
+    EXPECT_TRUE(rank.canActivate(t.tFAW, 0));
 }
 
 TEST(Rank, WriteToReadTurnaround)
@@ -199,8 +203,8 @@ TEST(Channel, CommandBusSerializesCommands)
     EXPECT_TRUE(ch.cmdBusFree(t.tCK));
     // An ACT to another bank additionally waits out rank-level tRRD.
     EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tCK));
-    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tRRD - 1));
-    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 1, t.tRRD));
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tRRD_L - 1));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 1, t.tRRD_L));
 }
 
 TEST(Channel, DataBusSerializesBursts)
@@ -208,14 +212,14 @@ TEST(Channel, DataBusSerializesBursts)
     TimingParams t = noRefreshTiming();
     Channel ch(t);
     ch.issue(CommandKind::Activate, 0, 5, 0);
-    ch.issue(CommandKind::Activate, 1, 9, t.tRRD);
+    ch.issue(CommandKind::Activate, 1, 9, t.tRRD_L);
     Cycle rd1 = t.tRCD;
     ASSERT_TRUE(ch.canIssue(CommandKind::Read, 0, rd1));
     IssueResult r1 = ch.issue(CommandKind::Read, 0, 5, rd1);
     EXPECT_EQ(r1.dataStart, rd1 + t.tCL);
     EXPECT_EQ(r1.dataEnd, rd1 + t.tCL + t.tBURST);
     // A read to the other bank whose data would overlap must wait.
-    Cycle rd2 = rd1 + t.tCCD;
+    Cycle rd2 = rd1 + t.tCCD_L;
     EXPECT_FALSE(ch.canIssue(CommandKind::Read, 1, rd2));
     Cycle ok = r1.dataEnd - t.tCL;
     EXPECT_TRUE(ch.canIssue(CommandKind::Read, 1, ok));
@@ -254,7 +258,7 @@ TEST(Channel, DualRankConstraintsAreIndependent)
     for (BankId b = 0; b < 4; ++b) {
         ASSERT_TRUE(ch.canIssue(CommandKind::Activate, b, now));
         ch.issue(CommandKind::Activate, b, 1, now);
-        now += t.tRRD;
+        now += t.tRRD_L;
     }
     // Rank 0 is tFAW-blocked, but rank 1 can activate immediately.
     EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 0, now));
@@ -268,7 +272,7 @@ TEST(Channel, RankSwitchAddsTrtrsOnDataBus)
     t.ranksPerChannel = 2;
     Channel ch(t);
     ch.issue(CommandKind::Activate, 0, 1, 0);          // rank 0
-    ch.issue(CommandKind::Activate, 4, 1, t.tRRD);     // rank 1
+    ch.issue(CommandKind::Activate, 4, 1, t.tRRD_L);   // rank 1
     Cycle rd1 = t.tRCD;
     ch.issue(CommandKind::Read, 0, 1, rd1);
     Cycle data_end = rd1 + t.tCL + t.tBURST;
@@ -379,4 +383,268 @@ TEST(AddressMap, DecodeStaysInBounds)
         EXPECT_GE(c.col, 0);
         EXPECT_LT(c.col, t.colsPerRow);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol registry and derivation
+// ---------------------------------------------------------------------------
+
+class ProtocolSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProtocolSuite, PresetValidatesAndDerivesConsistently)
+{
+    ProtocolLookup lookup = protocolByName(GetParam());
+    ASSERT_TRUE(lookup.ok) << lookup.error;
+    const ProtocolSpec &spec = lookup.spec;
+    EXPECT_EQ(spec.validate(), "");
+
+    TimingParams t = spec.derive();
+    EXPECT_EQ(t.protocol, spec.name);
+    EXPECT_GT(t.tCK, 0u);
+    EXPECT_GT(t.tBURST, 0u);
+    EXPECT_EQ(t.banksPerChannel, spec.bankGroupsPerRank *
+                                     spec.banksPerGroup *
+                                     spec.ranksPerChannel);
+    EXPECT_EQ(t.bankGroupsPerRank, spec.bankGroupsPerRank);
+    EXPECT_EQ(t.banksPerGroup(), spec.banksPerGroup);
+    // The long constraints dominate their short split.
+    EXPECT_GE(t.tCCD_L, t.tCCD_S);
+    EXPECT_GE(t.tRRD_L, t.tRRD_S);
+    // Single column-spacing register validity: two short gaps cover a
+    // long one.
+    EXPECT_GE(2 * t.tCCD_S, t.tCCD_L);
+    // Row cycle identity holds (explicit tRC never undercuts it).
+    EXPECT_GE(t.tRC, t.tRAS);
+}
+
+TEST_P(ProtocolSuite, DatasheetMaxRuleApplies)
+{
+    ProtocolLookup lookup = protocolByName(GetParam());
+    ASSERT_TRUE(lookup.ok);
+    const ProtocolSpec &spec = lookup.spec;
+    for (const NamedParam &p : spec.table()) {
+        double ns = spec.effectiveNs(p.value);
+        EXPECT_GE(ns, p.value.ns) << p.name;
+        EXPECT_GE(ns, p.value.ck * spec.tCkNs - 1e-9) << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolSuite,
+                         ::testing::ValuesIn(protocolNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Protocol, UnknownNameGivesStructuredError)
+{
+    ProtocolLookup lookup = protocolByName("ddr9-9000");
+    EXPECT_FALSE(lookup.ok);
+    EXPECT_NE(lookup.error.find("unknown DRAM protocol 'ddr9-9000'"),
+              std::string::npos)
+        << lookup.error;
+    // The error names every registered protocol.
+    for (const std::string &name : protocolNames())
+        EXPECT_NE(lookup.error.find(name), std::string::npos)
+            << lookup.error;
+}
+
+TEST(Protocol, Ddr2DerivationMatchesLegacyPreset)
+{
+    // The seed repo hand-wrote these numbers; every golden trace assumes
+    // them. The spec-derived block must reproduce them bit-for-bit.
+    TimingParams t = protocols::ddr2_800().derive();
+    EXPECT_EQ(t.tCK, 13u);
+    EXPECT_EQ(t.tCL, 75u);
+    EXPECT_EQ(t.tCWL, 63u);
+    EXPECT_EQ(t.tRCD, 75u);
+    EXPECT_EQ(t.tRP, 75u);
+    EXPECT_EQ(t.tRAS, 225u);
+    EXPECT_EQ(t.tRC, 300u);
+    EXPECT_EQ(t.tBURST, 50u);
+    EXPECT_EQ(t.tCCD_S, 25u);
+    EXPECT_EQ(t.tCCD_L, 25u);
+    EXPECT_EQ(t.tRRD_S, 38u);
+    EXPECT_EQ(t.tRRD_L, 38u);
+    EXPECT_EQ(t.tWR, 75u);
+    EXPECT_EQ(t.tWTR, 38u);
+    EXPECT_EQ(t.tRTP, 38u);
+    EXPECT_EQ(t.tFAW, 188u);
+    EXPECT_EQ(t.tRTRS, 25u);
+    EXPECT_EQ(t.tREFI, 39000u);
+    EXPECT_EQ(t.tRFC, 638u);
+    EXPECT_EQ(t.banksPerChannel, 4);
+    EXPECT_EQ(t.ranksPerChannel, 1);
+    EXPECT_EQ(t.bankGroupsPerRank, 1);
+}
+
+TEST(Protocol, ValidationRejectsBadSpecs)
+{
+    ProtocolSpec s = protocols::ddr4_2400();
+    s.tCCD_L = {0.0, 2}; // below tCCD_S (4 ck)
+    EXPECT_NE(s.validate().find("tCCD_L"), std::string::npos);
+
+    s = protocols::ddr4_2400();
+    s.tCCD_S = {0.0, 2}; // 2*2 < 6: single-register premise broken
+    EXPECT_NE(s.validate().find("2*tCCD_S"), std::string::npos);
+
+    s = protocols::ddr2_800();
+    s.tCkNs = 0.0;
+    EXPECT_NE(s.validate().find("tCK"), std::string::npos);
+
+    s = protocols::ddr2_800();
+    s.tRAS = {-1.0, 0};
+    EXPECT_NE(s.validate().find("tRAS"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DDR4 bank groups
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TimingParams
+ddr4NoRefresh()
+{
+    TimingParams t = protocols::ddr4_2400().derive();
+    t.refreshEnabled = false;
+    return t;
+}
+
+} // namespace
+
+TEST(BankGroups, GeometryHelpersPartitionBanks)
+{
+    TimingParams t = ddr4NoRefresh();
+    ASSERT_EQ(t.bankGroupsPerRank, 4);
+    ASSERT_EQ(t.banksPerGroup(), 4);
+    // Banks 0-3 are group 0, 4-7 group 1, ...
+    EXPECT_EQ(t.groupInRank(0), 0);
+    EXPECT_EQ(t.groupInRank(3), 0);
+    EXPECT_EQ(t.groupInRank(4), 1);
+    EXPECT_EQ(t.groupInRank(15), 3);
+    EXPECT_EQ(t.groupOfBank(15), 3);
+}
+
+TEST(BankGroups, SameGroupColumnsWaitTccdLong)
+{
+    TimingParams t = ddr4NoRefresh();
+    ASSERT_LT(t.tCCD_S, t.tCCD_L);
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 1, 0); // group 0
+    Cycle act2 = t.tRRD_S;
+    ch.issue(CommandKind::Activate, 1, 1, act2); // same group 0
+    Cycle rd1 = 1000; // all banks ready
+    ch.issue(CommandKind::Read, 0, 1, rd1);
+    // Same group: tCCD_S is not enough, tCCD_L is.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Read, 1, rd1 + t.tCCD_S));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Read, 1, rd1 + t.tCCD_L));
+    EXPECT_EQ(ch.earliestIssue(CommandKind::Read, 1), rd1 + t.tCCD_L);
+}
+
+TEST(BankGroups, CrossGroupColumnsWaitOnlyTccdShort)
+{
+    TimingParams t = ddr4NoRefresh();
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 1, 0);    // group 0
+    ch.issue(CommandKind::Activate, 4, 1, t.tRRD_S); // group 1
+    Cycle rd1 = 1000;
+    ch.issue(CommandKind::Read, 0, 1, rd1);
+    // Cross group: tCCD_S suffices (data bus permitting; tBURST at
+    // DDR4-2400 is well under tCCD_S * tCK here).
+    EXPECT_FALSE(ch.canIssue(CommandKind::Read, 4, rd1 + t.tCCD_S - 1));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Read, 4, rd1 + t.tCCD_S));
+}
+
+TEST(BankGroups, SameGroupActivatesWaitTrrdLong)
+{
+    TimingParams t = ddr4NoRefresh();
+    ASSERT_LT(t.tRRD_S, t.tRRD_L);
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 1, 0); // group 0
+    // Same group (bank 1): only legal after tRRD_L.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 1, t.tRRD_L - 1));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 1, t.tRRD_L));
+    EXPECT_EQ(ch.earliestIssue(CommandKind::Activate, 1), t.tRRD_L);
+    // Cross group (bank 4): legal at tRRD_S already.
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 4, t.tRRD_S));
+    EXPECT_EQ(ch.earliestIssue(CommandKind::Activate, 4), t.tRRD_S);
+}
+
+TEST(BankGroups, Ddr2SplitsCollapseToClassicConstraints)
+{
+    TimingParams t = TimingParams::ddr2_800();
+    EXPECT_EQ(t.bankGroupsPerRank, 1);
+    EXPECT_EQ(t.tCCD_S, t.tCCD_L);
+    EXPECT_EQ(t.tRRD_S, t.tRRD_L);
+    // Every bank shares the single group, so the "same group" long
+    // spacing is the only spacing — the legacy behavior.
+    for (int b = 0; b < t.banksPerChannel; ++b)
+        EXPECT_EQ(t.groupOfBank(b), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Power-down state machine
+// ---------------------------------------------------------------------------
+
+TEST(PowerDown, RankEntersAndExitsWithTckeAndTxp)
+{
+    TimingParams t = noRefreshTiming();
+    Rank rank(t);
+    EXPECT_FALSE(rank.poweredDown());
+    EXPECT_TRUE(rank.canPowerDown(0));
+    EXPECT_FALSE(rank.canPowerUp(0));
+
+    rank.recordPowerDown(100);
+    EXPECT_TRUE(rank.poweredDown());
+    EXPECT_FALSE(rank.commandsAllowed(100));
+    // Minimum residency: tCKE before the PDX.
+    EXPECT_FALSE(rank.canPowerUp(100 + t.tCKE - 1));
+    EXPECT_TRUE(rank.canPowerUp(100 + t.tCKE));
+    EXPECT_EQ(rank.earliestPowerUp(), 100 + t.tCKE);
+    // Commands resume only tXP after the exit.
+    EXPECT_EQ(rank.earliestCommandsAllowed(), 100 + t.tCKE + t.tXP);
+
+    Cycle up = 100 + t.tCKE;
+    rank.recordPowerUp(up);
+    EXPECT_FALSE(rank.poweredDown());
+    EXPECT_FALSE(rank.commandsAllowed(up + t.tXP - 1));
+    EXPECT_TRUE(rank.commandsAllowed(up + t.tXP));
+    EXPECT_EQ(rank.powerDownCycles(up + 1000), t.tCKE);
+}
+
+TEST(PowerDown, ChannelGatesCommandsOnPowerState)
+{
+    TimingParams t = noRefreshTiming();
+    Channel ch(t);
+    ASSERT_TRUE(ch.canIssue(CommandKind::PowerDown, 0, 0));
+    ch.issue(CommandKind::PowerDown, 0, kNoRow, 0);
+    EXPECT_TRUE(ch.rankPoweredDown(0));
+    // No ACT/REF while down; no re-entry either.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 0, t.tCKE + 100));
+    EXPECT_FALSE(ch.canIssue(CommandKind::Refresh, 0, t.tCKE + 100));
+    EXPECT_FALSE(ch.canIssue(CommandKind::PowerDown, 0, t.tCKE + 100));
+    EXPECT_EQ(ch.earliestIssue(CommandKind::PowerDown, 0), kCycleNever);
+    // PDX waits out tCKE.
+    EXPECT_FALSE(ch.canIssue(CommandKind::PowerUp, 0, t.tCKE - 1));
+    ASSERT_TRUE(ch.canIssue(CommandKind::PowerUp, 0, t.tCKE));
+    ch.issue(CommandKind::PowerUp, 0, kNoRow, t.tCKE);
+    EXPECT_FALSE(ch.rankPoweredDown(0));
+    // First ACT only after tXP.
+    EXPECT_FALSE(ch.canIssue(CommandKind::Activate, 0, t.tCKE + t.tXP - 1));
+    EXPECT_TRUE(ch.canIssue(CommandKind::Activate, 0, t.tCKE + t.tXP));
+}
+
+TEST(PowerDown, RequiresRankPrecharged)
+{
+    TimingParams t = noRefreshTiming();
+    Channel ch(t);
+    ch.issue(CommandKind::Activate, 0, 1, 0);
+    EXPECT_FALSE(ch.canIssue(CommandKind::PowerDown, 0, t.tCK));
+    EXPECT_EQ(ch.earliestIssue(CommandKind::PowerDown, 0), kCycleNever);
 }

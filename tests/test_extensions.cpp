@@ -24,13 +24,13 @@ TEST(Energy, ZeroCountsGiveOnlyIdleBackground)
 {
     dram::EnergyParams p = dram::EnergyParams::ddr2_800();
     dram::CommandCounts none;
-    dram::EnergyBreakdown e = dram::computeEnergy(p, none, 1'000'000, 4);
+    dram::EnergyBreakdown e = dram::computeEnergy(p, none, 1'000'000, 4, 5.0);
     EXPECT_EQ(e.activatePj, 0.0);
     EXPECT_EQ(e.readPj, 0.0);
     EXPECT_GT(e.backgroundPj, 0.0);
     // 1M cycles at 5 GHz = 200 us; idle 400 mW -> 80 uJ = 8e7 pJ.
     EXPECT_NEAR(e.backgroundPj, 8e7, 1e3);
-    EXPECT_NEAR(e.averageMw(1'000'000), p.pBackgroundIdle, 0.01);
+    EXPECT_NEAR(e.averageMw(1'000'000, 5.0), p.pBackgroundIdle, 0.01);
 }
 
 TEST(Energy, CommandEnergiesScaleLinearly)
@@ -41,7 +41,7 @@ TEST(Energy, CommandEnergiesScaleLinearly)
     counts.reads = 20;
     counts.writes = 5;
     counts.refreshes = 2;
-    dram::EnergyBreakdown e = dram::computeEnergy(p, counts, 0, 4);
+    dram::EnergyBreakdown e = dram::computeEnergy(p, counts, 0, 4, 5.0);
     EXPECT_DOUBLE_EQ(e.activatePj, 10 * p.eActPre);
     EXPECT_DOUBLE_EQ(e.readPj, 20 * p.eRead);
     EXPECT_DOUBLE_EQ(e.writePj, 5 * p.eWrite);
@@ -54,10 +54,10 @@ TEST(Energy, BusyBanksDrawMoreBackgroundPower)
     dram::EnergyParams p = dram::EnergyParams::ddr2_800();
     dram::CommandCounts idle, busy;
     busy.bankBusyCycles = 4 * 100'000; // fully busy window
-    auto eIdle = dram::computeEnergy(p, idle, 100'000, 4);
-    auto eBusy = dram::computeEnergy(p, busy, 100'000, 4);
+    auto eIdle = dram::computeEnergy(p, idle, 100'000, 4, 5.0);
+    auto eBusy = dram::computeEnergy(p, busy, 100'000, 4, 5.0);
     EXPECT_GT(eBusy.backgroundPj, eIdle.backgroundPj);
-    EXPECT_NEAR(eBusy.averageMw(100'000), p.pBackgroundActive, 0.01);
+    EXPECT_NEAR(eBusy.averageMw(100'000, 5.0), p.pBackgroundActive, 0.01);
 }
 
 TEST(Energy, SimulatorCountsDriveTheModel)
@@ -74,11 +74,11 @@ TEST(Energy, SimulatorCountsDriveTheModel)
     for (ChannelId ch = 0; ch < cfg.numChannels; ++ch) {
         dram::CommandCounts c = sim.commandCounts(ch);
         EXPECT_GT(c.reads, 0u) << "channel " << ch;
-        dram::EnergyBreakdown e = dram::computeEnergy(p, c, 100'000,
-                                                      cfg.timing
-                                                          .banksPerChannel);
+        dram::EnergyBreakdown e =
+            dram::computeEnergy(p, c, 100'000, cfg.timing.banksPerChannel,
+                                cfg.timing.cyclesPerNs);
         EXPECT_GT(e.totalPj(), 0.0);
-        EXPECT_GT(e.averageMw(100'000), p.pBackgroundIdle);
+        EXPECT_GT(e.averageMw(100'000, 5.0), p.pBackgroundIdle);
         total += e.totalPj();
     }
     EXPECT_GT(total, 0.0);
@@ -98,7 +98,7 @@ TEST(Energy, RowConflictsCostMoreThanStreams)
                            sched::SchedulerSpec::frfcfs(), 3);
         sim.run(10'000, 150'000);
         dram::CommandCounts c = sim.commandCounts(0);
-        return dram::computeEnergy(p, c, 150'000, 4).perAccessPj(c);
+        return dram::computeEnergy(p, c, 150'000, 4, 5.0).perAccessPj(c);
     };
     EXPECT_GT(perAccess("mcf"), perAccess("libquantum"));
 }

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hpp"
+#include "dram/protocol.hpp"
 #include "dram/protocol_checker.hpp"
 #include "mem/controller.hpp"
 #include "sched/factory.hpp"
@@ -77,6 +78,12 @@ eightBank()
     dram::TimingParams t = dram::TimingParams::ddr2_800();
     t.banksPerChannel = 8;
     return t;
+}
+
+dram::TimingParams
+ddr4()
+{
+    return dram::protocols::ddr4_2400().derive();
 }
 
 } // namespace
@@ -335,6 +342,148 @@ TEST(CheckerNegative, NoRefreshObligationWhenDisabled)
 }
 
 // ---------------------------------------------------------------------------
+// DDR4 bank-group rules: the split constraints flag independently.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerDdr4, CrossGroupColumnInsideTccdShort)
+{
+    dram::TimingParams t = ddr4();
+    Feeder f(t);
+    f.send(100, CommandKind::Activate, 0, 1);  // group 0
+    f.send(100 + t.tRRD_S, CommandKind::Activate, 4, 1); // group 1
+    f.send(400, CommandKind::Read, 0, 1);
+    f.send(400 + t.tCCD_S - 1, CommandKind::Read, 4, 1);
+    // Different groups: only the channel-wide short spacing fires.
+    EXPECT_EQ(f.checker.countOf(Constraint::Tccd), 1u);
+    EXPECT_EQ(f.checker.countOf(Constraint::TccdL), 0u);
+}
+
+TEST(CheckerDdr4, SameGroupColumnInsideTccdLong)
+{
+    dram::TimingParams t = ddr4();
+    ASSERT_LT(t.tCCD_S, t.tCCD_L);
+    Feeder f(t);
+    f.send(100, CommandKind::Activate, 0, 1); // group 0
+    f.send(100 + t.tRRD_L, CommandKind::Activate, 1, 1); // group 0
+    f.send(400, CommandKind::Read, 0, 1);
+    // Past tCCD_S but short of tCCD_L: only the long rule fires.
+    f.send(400 + t.tCCD_L - 1, CommandKind::Read, 1, 1);
+    EXPECT_EQ(f.checker.countOf(Constraint::Tccd), 0u);
+    EXPECT_EQ(f.checker.countOf(Constraint::TccdL), 1u);
+    EXPECT_STREQ(dram::constraintName(Constraint::TccdL), "tCCD_L");
+}
+
+TEST(CheckerDdr4, CrossGroupActivateInsideTrrdShort)
+{
+    dram::TimingParams t = ddr4();
+    Feeder f(t);
+    f.send(100, CommandKind::Activate, 0, 1); // group 0
+    f.send(100 + t.tRRD_S - 1, CommandKind::Activate, 4, 1); // group 1
+    EXPECT_EQ(f.checker.countOf(Constraint::Trrd), 1u);
+    EXPECT_EQ(f.checker.countOf(Constraint::TrrdL), 0u);
+}
+
+TEST(CheckerDdr4, SameGroupActivateInsideTrrdLong)
+{
+    dram::TimingParams t = ddr4();
+    ASSERT_LT(t.tRRD_S, t.tRRD_L);
+    Feeder f(t);
+    f.send(100, CommandKind::Activate, 0, 1); // group 0
+    // Past tRRD_S but short of tRRD_L: only the long rule fires.
+    f.send(100 + t.tRRD_L - 1, CommandKind::Activate, 1, 1);
+    EXPECT_EQ(f.checker.countOf(Constraint::Trrd), 0u);
+    EXPECT_EQ(f.checker.countOf(Constraint::TrrdL), 1u);
+    EXPECT_STREQ(dram::constraintName(Constraint::TrrdL), "tRRD_L");
+}
+
+TEST(CheckerDdr4, LegalBankGroupInterleaveIsClean)
+{
+    dram::TimingParams t = ddr4();
+    Feeder f(t);
+    f.send(100, CommandKind::Activate, 0, 1);              // group 0
+    f.send(100 + t.tRRD_S, CommandKind::Activate, 4, 1);   // group 1
+    f.send(400, CommandKind::Read, 0, 1);
+    f.send(400 + t.tCCD_S, CommandKind::Read, 4, 1); // cross-group short
+    f.send(400 + t.tCCD_S + t.tCCD_L, CommandKind::Read, 0, 1);
+    f.checker.finalize(1'000);
+    EXPECT_EQ(f.checker.violationCount(), 0u) << f.checker.report();
+}
+
+// ---------------------------------------------------------------------------
+// Power-down discipline.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerPowerDown, EntryWithRowOpen)
+{
+    Feeder f(dram::TimingParams::ddr2_800());
+    f.send(100, CommandKind::Activate, 0, 1);
+    f.send(500, CommandKind::PowerDown, 0);
+    EXPECT_EQ(f.checker.countOf(Constraint::PdRowOpen), 1u);
+    EXPECT_STREQ(dram::constraintName(Constraint::PdRowOpen),
+                 "PDE-row-open");
+}
+
+TEST(CheckerPowerDown, DoubleEntryIsBadState)
+{
+    Feeder f(dram::TimingParams::ddr2_800());
+    f.send(100, CommandKind::PowerDown, 0);
+    f.send(1000, CommandKind::PowerDown, 0);
+    EXPECT_EQ(f.checker.countOf(Constraint::PdBadState), 1u);
+}
+
+TEST(CheckerPowerDown, ExitBeforeTckeElapsed)
+{
+    dram::TimingParams t = dram::TimingParams::ddr2_800();
+    Feeder f(t);
+    f.send(100, CommandKind::PowerDown, 0);
+    f.send(100 + t.tCKE - 1, CommandKind::PowerUp, 0);
+    EXPECT_EQ(f.checker.countOf(Constraint::Tcke), 1u);
+    EXPECT_EQ(f.checker.violations()[0].earliestLegal, 100 + t.tCKE);
+}
+
+TEST(CheckerPowerDown, ExitWhilePoweredUpIsBadState)
+{
+    Feeder f(dram::TimingParams::ddr2_800());
+    f.send(100, CommandKind::PowerUp, 0);
+    EXPECT_EQ(f.checker.countOf(Constraint::PdBadState), 1u);
+}
+
+TEST(CheckerPowerDown, CommandToPoweredDownRank)
+{
+    dram::TimingParams t = dram::TimingParams::ddr2_800();
+    Feeder f(t);
+    f.send(100, CommandKind::PowerDown, 0);
+    f.send(100 + t.tCKE + 500, CommandKind::Activate, 0, 1);
+    EXPECT_EQ(f.checker.countOf(Constraint::CmdWhilePoweredDown), 1u);
+    EXPECT_STREQ(dram::constraintName(Constraint::CmdWhilePoweredDown),
+                 "cmd-powered-down");
+}
+
+TEST(CheckerPowerDown, CommandInsideTxpAfterExit)
+{
+    dram::TimingParams t = dram::TimingParams::ddr2_800();
+    Feeder f(t);
+    f.send(100, CommandKind::PowerDown, 0);
+    Cycle pdx = 100 + t.tCKE;
+    f.send(pdx, CommandKind::PowerUp, 0);
+    f.send(pdx + t.tXP - 1, CommandKind::Activate, 0, 1);
+    EXPECT_EQ(f.checker.countOf(Constraint::Txp), 1u);
+    EXPECT_EQ(f.checker.violations()[0].earliestLegal, pdx + t.tXP);
+}
+
+TEST(CheckerPowerDown, LegalCycleIsClean)
+{
+    dram::TimingParams t = dram::TimingParams::ddr2_800();
+    Feeder f(t);
+    f.send(100, CommandKind::PowerDown, 0);
+    Cycle pdx = 100 + t.tCKE;
+    f.send(pdx, CommandKind::PowerUp, 0);
+    f.send(pdx + t.tXP, CommandKind::Activate, 0, 1);
+    EXPECT_EQ(f.checker.violationCount(), 0u) << f.checker.report();
+    EXPECT_EQ(f.checker.eventsAudited(), 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Positive tests: legal sequences pass clean.
 // ---------------------------------------------------------------------------
 
@@ -400,16 +549,45 @@ struct StressCase
 {
     sched::Algo algo;
     std::uint64_t seed;
+    std::string protocol = "ddr2-800";
 };
 
 std::string
 stressName(const testing::TestParamInfo<StressCase> &info)
 {
-    std::string n = sched::algoName(info.param.algo);
+    std::string n = std::string(sched::algoName(info.param.algo)) + "_" +
+                    info.param.protocol + "_s" +
+                    std::to_string(info.param.seed);
     for (char &c : n)
         if (c == '-')
             c = '_';
-    return n + "_s" + std::to_string(info.param.seed);
+    return n;
+}
+
+/**
+ * Every scheduler twice on the default protocol, plus every scheduler
+ * once on every other registered protocol — the audit covers DDR3
+ * timings and the DDR4 bank-group rules, not just the seed's DDR2.
+ */
+std::vector<StressCase>
+stressCases()
+{
+    std::vector<StressCase> cases;
+    const sched::Algo algos[] = {sched::Algo::FrFcfs, sched::Algo::Stfm,
+                                 sched::Algo::ParBs, sched::Algo::Atlas,
+                                 sched::Algo::Tcm};
+    std::uint64_t seed = 1;
+    for (sched::Algo algo : algos) {
+        cases.push_back({algo, seed++});
+        cases.push_back({algo, seed++});
+    }
+    for (const std::string &protocol : dram::protocolNames()) {
+        if (protocol == "ddr2-800")
+            continue;
+        for (sched::Algo algo : algos)
+            cases.push_back({algo, seed++, protocol});
+    }
+    return cases;
 }
 
 } // namespace
@@ -425,14 +603,26 @@ TEST_P(AuditedStress, RandomizedConfigsProduceZeroViolations)
     // channel count, rank count, page policy, workload intensity.
     Pcg32 rng(sc.seed * 7919 + 17);
     sim::SystemConfig cfg;
+    ASSERT_EQ(cfg.selectProtocol(sc.protocol), "");
     cfg.numCores = 4 + static_cast<int>(rng.nextBelow(5));
     cfg.numChannels = 1 + static_cast<int>(rng.nextBelow(2));
     if (rng.nextBool(0.5)) {
+        // Second rank: doubles the bank count at the protocol's own
+        // banks-per-rank (and bank-group) geometry.
+        cfg.timing.banksPerChannel *= 2;
         cfg.timing.ranksPerChannel = 2;
-        cfg.timing.banksPerChannel = 8;
     }
     if (rng.nextBool(0.25))
         cfg.controller.pagePolicy = mem::PagePolicy::Closed;
+    // The USIMM-style policies must hold protocol-clean too: latched
+    // strict write drain, speculative precharge, rank power-down.
+    if (rng.nextBool(0.5))
+        cfg.controller.writeDrain.mode = mem::WriteDrainMode::Strict;
+    if (rng.nextBool(0.5))
+        cfg.controller.speculativePrecharge = true;
+    if (rng.nextBool(0.5))
+        cfg.controller.powerDownIdleCycles =
+            500 + static_cast<Cycle>(rng.nextBelow(2000));
     double intensity = 0.5 + 0.25 * static_cast<double>(rng.nextBelow(3));
     cfg.protocolCheck = true;
 
@@ -454,19 +644,8 @@ TEST_P(AuditedStress, RandomizedConfigsProduceZeroViolations)
     EXPECT_EQ(checker->violationCount(), 0u) << checker->report();
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllSchedulers, AuditedStress,
-    testing::Values(StressCase{sched::Algo::FrFcfs, 1},
-                    StressCase{sched::Algo::FrFcfs, 2},
-                    StressCase{sched::Algo::Stfm, 3},
-                    StressCase{sched::Algo::Stfm, 4},
-                    StressCase{sched::Algo::ParBs, 5},
-                    StressCase{sched::Algo::ParBs, 6},
-                    StressCase{sched::Algo::Atlas, 7},
-                    StressCase{sched::Algo::Atlas, 8},
-                    StressCase{sched::Algo::Tcm, 9},
-                    StressCase{sched::Algo::Tcm, 10}),
-    stressName);
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, AuditedStress,
+                         testing::ValuesIn(stressCases()), stressName);
 
 // ---------------------------------------------------------------------------
 // Controller-level audited stress: random injection straight into one
@@ -474,9 +653,15 @@ INSTANTIATE_TEST_SUITE_P(
 // hook.
 // ---------------------------------------------------------------------------
 
-TEST(AuditedController, RandomInjectionIsProtocolClean)
+class AuditedController : public testing::TestWithParam<std::string>
 {
-    dram::TimingParams timing = dram::TimingParams::ddr2_800();
+};
+
+TEST_P(AuditedController, RandomInjectionIsProtocolClean)
+{
+    dram::ProtocolLookup lookup = dram::protocolByName(GetParam());
+    ASSERT_TRUE(lookup.ok) << lookup.error;
+    dram::TimingParams timing = lookup.spec.derive();
     dram::ProtocolChecker checker(timing);
 
     sched::SchedulerSpec spec = sched::SchedulerSpec::frfcfs();
@@ -514,3 +699,13 @@ TEST(AuditedController, RandomInjectionIsProtocolClean)
     EXPECT_GT(checker.eventsAudited(), 1000u);
     EXPECT_EQ(checker.violationCount(), 0u) << checker.report();
 }
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, AuditedController,
+                         testing::ValuesIn(dram::protocolNames()),
+                         [](const testing::TestParamInfo<std::string> &i) {
+                             std::string n = i.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });

@@ -60,6 +60,14 @@ struct Options
     // claim verdicts and baseline diffs are unchanged; the merged
     // profile lands in each document's "run" provenance block.
     bool profile = false;
+    // Explicit write-drain watermarks (Opportunistic mode). The
+    // controller's defaults already use these values, so setting them
+    // explicitly must not move a single number — CI runs the gate with
+    // this flag to prove the watermark machinery is exactly the legacy
+    // behavior when the new Strict latch stays off.
+    bool writeDrain = false;
+    int drainHigh = 0;
+    int drainLow = 0;
 };
 
 void
@@ -94,7 +102,12 @@ usage(std::FILE *out)
         "  --profile            profile the simulator itself; verdicts\n"
         "                       and baselines are unchanged (observer\n"
         "                       purity), the merged metrics land in each\n"
-        "                       document's \"run\" provenance block\n");
+        "                       document's \"run\" provenance block\n"
+        "  --write-drain HI:LO  set the opportunistic write-drain\n"
+        "                       watermarks explicitly; with the default\n"
+        "                       values (48:16) the results are\n"
+        "                       bit-identical to leaving the flag off,\n"
+        "                       which CI enforces against the goldens\n");
 }
 
 bool
@@ -165,6 +178,20 @@ parseArgs(int argc, char **argv, Options &opt)
             }
         } else if (arg == "--profile") {
             opt.profile = true;
+        } else if (arg == "--write-drain") {
+            const char *v = value("--write-drain");
+            if (v == nullptr)
+                return false;
+            if (std::sscanf(v, "%d:%d", &opt.drainHigh, &opt.drainLow) !=
+                    2 ||
+                opt.drainHigh <= 0 || opt.drainLow < 0 ||
+                opt.drainLow >= opt.drainHigh) {
+                std::fprintf(stderr,
+                             "claims: --write-drain needs HI:LO with "
+                             "0 <= LO < HI\n");
+                return false;
+            }
+            opt.writeDrain = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             std::exit(0);
@@ -236,6 +263,12 @@ main(int argc, char **argv)
     config.cycleSkip = !opt.perCycle;
     config.intraRunParallel = opt.intraParallel;
     config.profile.enabled = opt.profile;
+    if (opt.writeDrain) {
+        config.controller.writeDrain.highWatermark = opt.drainHigh;
+        config.controller.writeDrain.lowWatermark = opt.drainLow;
+        std::fprintf(stderr, "claims: write-drain watermarks %d:%d\n",
+                     opt.drainHigh, opt.drainLow);
+    }
     std::fprintf(stderr,
                  "claims: scale %s (warmup %llu, measure %llu, %d "
                  "workloads/category)%s, %d worker lane(s)\n",

@@ -20,7 +20,9 @@
  *     --seed N            base seed (default 1)
  *     --jobs N            worker threads (default: TCMSIM_JOBS, else all
  *                         hardware threads; 1 = serial)
- *     --check             attach the independent DDR2 protocol checker
+ *     --protocol NAME     DRAM protocol preset (ddr2-800, ddr3-1333,
+ *                         ddr3-1600, ddr4-2400; default ddr2-800)
+ *     --check             attach the independent protocol checker
  *                         to every run; prints an audit summary to
  *                         stderr and exits 1 on any violation
  *     --telemetry DIR     record in-run telemetry (interval samples,
@@ -96,6 +98,7 @@ main(int argc, char **argv)
     Cycle warmup = 50'000;
     std::uint64_t seed = 1;
     int jobs = 0;
+    std::string protocol;
     bool check = false;
     std::string telemetryDir;
     bool profile = false;
@@ -128,6 +131,8 @@ main(int argc, char **argv)
             seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--jobs")
             jobs = std::atoi(value());
+        else if (arg == "--protocol")
+            protocol = value();
         else if (arg == "--check")
             check = true;
         else if (arg == "--telemetry")
@@ -142,6 +147,11 @@ main(int argc, char **argv)
     }
 
     sim::SystemConfig config;
+    if (!protocol.empty()) {
+        std::string err = config.selectProtocol(protocol);
+        if (!err.empty())
+            die(err.c_str());
+    }
     config.numCores = cores;
     config.numChannels = channels;
     config.protocolCheck = check;
