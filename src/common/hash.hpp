@@ -1,0 +1,30 @@
+/**
+ * @file
+ * FNV-1a 64-bit string hashing.
+ *
+ * Used wherever the repo needs a stable content fingerprint that must
+ * not change across platforms or runs — the alone-IPC store stamp and
+ * the sweep daemon's manifest/checkpoint binding. Not a cryptographic
+ * hash; it only needs to make accidental mismatches (edited manifest,
+ * stale store) overwhelmingly detectable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tcm {
+
+constexpr std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace tcm

@@ -515,6 +515,61 @@ paperClaims()
         "TCM run",
         ResultSet::key("intra_parallel", "w4", "", "speedup"), 1.3, 8.0));
 
+    // -- Infrastructure: interval sampling ----------------------------------
+    // Subjects come from the paper::sampling probe (the fig4 grid run
+    // full-length and interval-sampled; claims-gate leg
+    // `claims --sampling-probe`, bench_sampling standalone). The
+    // deterministic claims (error bands, preserved orderings, cycle
+    // ratio) are the sampling contract; the wall-clock claim is the
+    // point of the feature. Error bands were pinned from both blessed
+    // scales (ci 4/cat and default 8/cat; see EXPERIMENTS.md "Interval
+    // sampling") with headroom over the worst observed values.
+    const std::string kSamplingSummary = "sampling/summary";
+    claims.push_back(Claim::band(
+        "sampling.ws_err",
+        "Sampled weighted speedup lands within 8% of the full-run value "
+        "for every fig4 scheduler (measured: 4.75% at the default scale, "
+        "3.41% at ci)",
+        kSamplingSummary + "/ws_err_max", 0.0, 0.08));
+    claims.push_back(Claim::band(
+        "sampling.ms_err",
+        "Sampled maximum slowdown stays within 2.25x of the full-run "
+        "value for every bounded-slowdown fig4 scheduler (measured "
+        "worst: 103% at the default scale, 73% at ci). MS tracks one "
+        "worst-case thread through quantum-scale scheduling phases and "
+        "the sampled span covers about one quantum, so this band only "
+        "guards against catastrophic divergence; the quantitative MS "
+        "conclusions — including ATLAS, whose divergent starvation "
+        "statistic is excluded here — gate through sampling.ordering",
+        kSamplingSummary + "/ms_err_max_bounded", 0.0, 1.25));
+    claims.push_back(Claim::band(
+        "sampling.ordering",
+        "Every fig4.* claim reaches the same verdict on the sampled "
+        "document — sampling preserves the paper's scheduler orderings",
+        kSamplingSummary + "/fig4_claims_failed", 0.0, 0.0));
+    claims.push_back(Claim::band(
+        "sampling.cycle_ratio",
+        "The sampled run simulates at least 4x fewer cycles than the "
+        "full run it estimates (default: 72k vs 350k = 4.9x)",
+        kSamplingSummary + "/cycle_ratio", 4.0, 1000.0));
+    claims.push_back(Claim::band(
+        "sampling.speedup",
+        "The sampled fig4 grid is at least 4x faster in wall-clock than "
+        "the full grid (the upper bound only guards against timing "
+        "artifacts)",
+        kSamplingSummary + "/speedup", 4.0, 50.0));
+
+    // Fine-margin MS comparisons between bounded-slowdown schedulers
+    // (Claim::fullHorizonOnly): every table6 claim (the shuffling study
+    // is entirely MS-distribution statistics over 30 runs) and the
+    // tournament-vs-TCM 5% MS bound. Everything else — all WS/HS claims
+    // and the coarse MS orderings (TCM vs ATLAS at 0.85x, BLISS vs TCM
+    // at 0.8x) — must also hold on interval-sampled runs.
+    for (Claim &c : claims)
+        if (c.id.rfind("table6.", 0) == 0 ||
+            c.id == "zoo.tournament_ms_vs_tcm")
+            c.fullHorizonOnly = true;
+
     return claims;
 }
 

@@ -70,6 +70,19 @@ struct Claim
     double factor = 1.0;                 // multiplier (Ratio*)
     double lo = 0.0, hi = 0.0;           // Band bounds (inclusive)
 
+    /**
+     * The claim's margin only resolves at the full measurement horizon,
+     * so the interval-sampled gate (tools/claims --sampled) must skip
+     * it. Set for fine-margin maximum-slowdown comparisons (<= 25%
+     * between bounded-slowdown schedulers): MS tracks one worst-case
+     * thread through quantum-scale scheduling phases, and a sampled
+     * span covers about one quantum, so sampled MS carries ~2x phase
+     * noise (see the sampling.ms_err claim) — far coarser than these
+     * margins. Coarse MS claims and all WS/HS claims stay gated
+     * sampled.
+     */
+    bool fullHorizonOnly = false;
+
     static Claim atLeast(std::string id, std::string description,
                          std::string subject,
                          std::vector<std::string> references,

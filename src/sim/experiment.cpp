@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -21,12 +22,59 @@ ExperimentScale::fromEnv()
     return s;
 }
 
+namespace {
+
+/**
+ * The measurement phase of a sampled run: K windows of W cycles,
+ * recording per-thread IPC per window. Window-chunked stepping is
+ * bit-identical to one contiguous step of K*W cycles (the cycle-skip
+ * horizon clamp contract; asserted by tests/test_sampling), so the
+ * windows only add observation points, never perturb the simulation.
+ * Returns the per-thread relative standard error of the window-mean
+ * IPC (empty for K < 2).
+ */
+std::vector<double>
+stepSampledWindows(Simulator &sim, const SamplingConfig &samp,
+                   std::size_t numThreads)
+{
+    std::vector<std::uint64_t> prev(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t)
+        prev[t] = sim.counters()[t].instructions;
+
+    std::vector<RunningStat> windowIpc(numThreads);
+    for (int k = 0; k < samp.windows; ++k) {
+        sim.step(samp.window);
+        for (std::size_t t = 0; t < numThreads; ++t) {
+            std::uint64_t insts = sim.counters()[t].instructions;
+            windowIpc[t].add(static_cast<double>(insts - prev[t]) /
+                             static_cast<double>(samp.window));
+            prev[t] = insts;
+        }
+    }
+
+    std::vector<double> rse;
+    if (samp.windows >= 2) {
+        rse.reserve(numThreads);
+        for (std::size_t t = 0; t < numThreads; ++t) {
+            double mean = windowIpc[t].mean();
+            double sem = std::sqrt(windowIpc[t].variance() /
+                                   static_cast<double>(samp.windows));
+            rse.push_back(mean > 0.0 ? sem / mean : 0.0);
+        }
+    }
+    return rse;
+}
+
+} // namespace
+
 RunResult
 runWorkload(const SystemConfig &config,
             const std::vector<workload::ThreadProfile> &mix,
             sched::SchedulerSpec spec, const ExperimentScale &scale,
             AloneIpcCache &cache, std::uint64_t seed)
 {
+    // Time constants always scale to the FULL run length: a sampled run
+    // must be a slice of the full run's dynamics, not a compressed one.
     spec.scaleToRun(scale.measure);
 
     const telemetry::TelemetryConfig &tcfg = config.telemetry;
@@ -52,9 +100,15 @@ runWorkload(const SystemConfig &config,
         sim.attachProfiler(profiler.get());
     }
 
-    sim.run(scale.warmup, scale.measure);
-
     RunResult result;
+    if (scale.sampling.enabled) {
+        sim.step(scale.sampling.warmup);
+        sim.beginMeasurement();
+        result.ipcRse = stepSampledWindows(sim, scale.sampling, mix.size());
+    } else {
+        sim.run(scale.warmup, scale.measure);
+    }
+
     result.ipcShared.reserve(mix.size());
     result.ipcAlone.reserve(mix.size());
     for (ThreadId t = 0; t < static_cast<ThreadId>(mix.size()); ++t) {

@@ -21,6 +21,7 @@
 #include "prof/profiler.hpp"
 #include "sched/factory.hpp"
 #include "sim/alone_cache.hpp"
+#include "sim/sampling.hpp"
 #include "sim/system_config.hpp"
 #include "telemetry/sink.hpp"
 #include "workload/profile.hpp"
@@ -35,6 +36,27 @@ struct ExperimentScale
     Cycle warmup = 50'000;
     Cycle measure = 300'000;
     int workloadsPerCategory = 8;
+
+    /**
+     * Interval sampling (sim/sampling.hpp). When enabled, runs execute
+     * sampling.warmup + K sampled windows instead of warmup + measure;
+     * `warmup`/`measure` keep describing the FULL run the sampled one
+     * estimates — scheduler time constants still scale to `measure`,
+     * and results documents still record the full scale.
+     */
+    SamplingConfig sampling;
+
+    /** Cycles actually simulated before measurement begins. */
+    Cycle effectiveWarmup() const
+    {
+        return sampling.enabled ? sampling.warmup : warmup;
+    }
+
+    /** Cycles actually measured (K*W when sampling, else measure). */
+    Cycle effectiveMeasure() const
+    {
+        return sampling.enabled ? sampling.totalMeasure() : measure;
+    }
 
     /** Defaults above, overridden from the environment. */
     static ExperimentScale fromEnv();
@@ -70,6 +92,15 @@ struct RunResult
      * with or without it (tests/test_prof).
      */
     std::shared_ptr<prof::ProfileReport> profile;
+
+    /**
+     * Per-thread relative standard error of the mean IPC across the K
+     * measurement windows of a sampled run (empty when the run was not
+     * sampled, or K < 2). The run's self-assessed representativeness:
+     * a thread whose window IPCs vary wildly is poorly estimated by
+     * this sample length. Diagnostic only — never feeds a metric.
+     */
+    std::vector<double> ipcRse;
 };
 
 /**

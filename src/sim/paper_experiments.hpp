@@ -78,4 +78,37 @@ results::ResultsDoc zoo(const SystemConfig &config,
 results::ResultsDoc intraParallel(const SystemConfig &config,
                                   const ExperimentScale &scale);
 
+/**
+ * Interval-sampling validation (the bench_sampling measurement): the
+ * fig4 grid run twice — full-length and interval-sampled (W:K windows
+ * after a short warmup; sim/sampling.hpp) — with the sampled estimates
+ * compared against the full-run values. One row per scheduler with
+ * <metric>_full / <metric>_sampled / <metric>_relerr for ws, ms and hs,
+ * plus a "summary" row carrying the claim subjects:
+ *   ws_err_max / ms_err_max / hs_err_max  worst relative error,
+ *   ms_err_max_bounded  worst MS error over the bounded-slowdown
+ *     schedulers (excludes the scheduler with the largest full-run MS —
+ *     ATLAS at every blessed scale — whose divergent starvation
+ *     statistic has no finite short-horizon estimate; the claim band
+ *     gates this one),
+ *   fig4_claims_total / fig4_claims_failed  the fig4.* registry
+ *     re-evaluated on the sampled document (ordering preservation),
+ *   cycle_ratio  simulated cycles full / sampled (deterministic),
+ *   speedup / seconds_full / seconds_sampled  wall-clock.
+ *
+ * Sampling parameters come from @p scale.sampling when enabled, else
+ * the SamplingConfig defaults (30k warmup + 3x14k windows). When
+ * @p fullFig4 is non-null it is used as the full-run leg (it must be a
+ * fig4 document produced at @p scale with its wall-clock provenance
+ * stamped — the claims gate reuses the grid it already ran); when null
+ * the driver runs the full leg itself.
+ *
+ * Like intraParallel, the document carries wall-clock timings: it feeds
+ * the sampling.* claims and is written out for inspection but is never
+ * diffed against a golden baseline.
+ */
+results::ResultsDoc sampling(const SystemConfig &config,
+                             const ExperimentScale &scale, int jobs = 0,
+                             const results::ResultsDoc *fullFig4 = nullptr);
+
 } // namespace tcm::sim::paper

@@ -75,47 +75,77 @@ ResultsDoc::find(const std::string &series, const std::string &point,
     return nullptr;
 }
 
+namespace {
+
+/**
+ * Shared serializer behind toJson (pretty) and toJsonLine (compact): the
+ * two forms differ only in whitespace, so one emitter guarantees they
+ * can never drift apart in content.
+ */
 std::string
-ResultsDoc::toJson() const
+serializeDoc(const ResultsDoc &doc, bool pretty)
 {
+    const char *nl = pretty ? "\n" : "";
+    const char *ind = pretty ? "  " : "";
     std::string out;
-    out += "{\n";
-    out += "  \"schema_version\": " + std::to_string(schemaVersion) + ",\n";
-    out += "  \"bench\": " + json::quote(bench) + ",\n";
-    out += "  \"scale\": {\"warmup\": " +
-           std::to_string(static_cast<unsigned long long>(warmup)) +
+    out += "{";
+    out += nl;
+    out += ind;
+    out += "\"schema_version\": " + std::to_string(doc.schemaVersion) + ",";
+    out += nl;
+    out += ind;
+    out += "\"bench\": " + json::quote(doc.bench) + ",";
+    out += nl;
+    out += ind;
+    out += "\"scale\": {\"warmup\": " +
+           std::to_string(static_cast<unsigned long long>(doc.warmup)) +
            ", \"measure\": " +
-           std::to_string(static_cast<unsigned long long>(measure)) +
+           std::to_string(static_cast<unsigned long long>(doc.measure)) +
            ", \"workloads_per_category\": " +
-           std::to_string(workloadsPerCategory) + "},\n";
-    if (wallSeconds > 0.0 || intraWorkers > 0 || hostThreads > 0 ||
-        !buildType.empty() || cycleSkip >= 0 || !profileMetrics.empty()) {
-        out += "  \"run\": {\"wall_seconds\": " + formatDouble(wallSeconds) +
-               ", \"intra_workers\": " + std::to_string(intraWorkers);
-        if (hostThreads > 0)
-            out += ", \"host_threads\": " + std::to_string(hostThreads);
-        if (!buildType.empty())
-            out += ", \"build_type\": " + json::quote(buildType);
-        if (cycleSkip >= 0)
+           std::to_string(doc.workloadsPerCategory) + "},";
+    out += nl;
+    if (doc.wallSeconds > 0.0 || doc.intraWorkers > 0 ||
+        doc.hostThreads > 0 || !doc.buildType.empty() ||
+        doc.cycleSkip >= 0 || doc.jobsPerSec > 0.0 ||
+        doc.cacheHitRate >= 0.0 || !doc.profileMetrics.empty()) {
+        out += ind;
+        out += "\"run\": {\"wall_seconds\": " +
+               formatDouble(doc.wallSeconds) +
+               ", \"intra_workers\": " + std::to_string(doc.intraWorkers);
+        if (doc.hostThreads > 0)
+            out += ", \"host_threads\": " + std::to_string(doc.hostThreads);
+        if (!doc.buildType.empty())
+            out += ", \"build_type\": " + json::quote(doc.buildType);
+        if (doc.cycleSkip >= 0)
             out += std::string(", \"cycle_skip\": ") +
-                   (cycleSkip ? "true" : "false");
-        if (!profileMetrics.empty()) {
+                   (doc.cycleSkip ? "true" : "false");
+        if (doc.jobsPerSec > 0.0)
+            out += ", \"jobs_per_sec\": " + formatDouble(doc.jobsPerSec);
+        if (doc.cacheHitRate >= 0.0)
+            out += ", \"cache_hit_rate\": " + formatDouble(doc.cacheHitRate);
+        if (!doc.profileMetrics.empty()) {
             out += ", \"profile\": {";
-            for (std::size_t m = 0; m < profileMetrics.size(); ++m) {
+            for (std::size_t m = 0; m < doc.profileMetrics.size(); ++m) {
                 if (m)
                     out += ", ";
-                double v = profileMetrics[m].second;
-                out += json::quote(profileMetrics[m].first) + ": " +
+                double v = doc.profileMetrics[m].second;
+                out += json::quote(doc.profileMetrics[m].first) + ": " +
                        (std::isfinite(v) ? formatDouble(v) : "null");
             }
             out += "}";
         }
-        out += "},\n";
+        out += "},";
+        out += nl;
     }
-    out += "  \"rows\": [";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        out += i ? ",\n    " : "\n    ";
+    out += ind;
+    out += "\"rows\": [";
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        const Row &r = doc.rows[i];
+        if (i)
+            out += ",";
+        out += nl;
+        if (pretty)
+            out += "    ";
         out += "{\"series\": " + json::quote(r.series);
         if (!r.point.empty())
             out += ", \"point\": " + json::quote(r.point);
@@ -130,9 +160,28 @@ ResultsDoc::toJson() const
         }
         out += "}}";
     }
-    out += rows.empty() ? "]\n" : "\n  ]\n";
+    if (!doc.rows.empty()) {
+        out += nl;
+        out += ind;
+    }
+    out += "]";
+    out += nl;
     out += "}\n";
     return out;
+}
+
+} // namespace
+
+std::string
+ResultsDoc::toJson() const
+{
+    return serializeDoc(*this, /*pretty=*/true);
+}
+
+std::string
+ResultsDoc::toJsonLine() const
+{
+    return serializeDoc(*this, /*pretty=*/false);
 }
 
 void
@@ -178,6 +227,8 @@ ResultsDoc::fromJson(const std::string &text)
         doc.intraWorkers = static_cast<int>(run->numberOr("intra_workers", 0));
         doc.hostThreads = static_cast<int>(run->numberOr("host_threads", 0));
         doc.buildType = run->stringOr("build_type", "");
+        doc.jobsPerSec = run->numberOr("jobs_per_sec", 0.0);
+        doc.cacheHitRate = run->numberOr("cache_hit_rate", -1.0);
         if (const json::Value *cs = run->find("cycle_skip")) {
             if (cs->kind == json::Value::Kind::Bool)
                 doc.cycleSkip = cs->boolean ? 1 : 0;

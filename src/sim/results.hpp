@@ -63,13 +63,20 @@ struct ResultsDoc
     // Serialized only when any field is set — the one deliberate
     // exception to byte-identical re-runs — with a schema-stable key
     // order (wall_seconds, intra_workers, host_threads, build_type,
-    // cycle_skip, profile), and parsed tolerantly, so documents written
-    // before these fields existed load unchanged.
+    // cycle_skip, jobs_per_sec, cache_hit_rate, profile), and parsed
+    // tolerantly, so documents written before these fields existed load
+    // unchanged.
     double wallSeconds = 0.0;
     int intraWorkers = 0;
     int hostThreads = 0;          //!< std::thread::hardware_concurrency
     std::string buildType;        //!< CMAKE_BUILD_TYPE of the producer
     int cycleSkip = -1;           //!< -1 unset, else 0/1 (SystemConfig)
+    /** Daemon throughput (tools/sweepd summary docs): completed jobs per
+     *  wall second; <= 0 means "not a daemon doc". */
+    double jobsPerSec = 0.0;
+    /** Alone-IPC cache hit rate of the producing run, in [0,1];
+     *  -1 means unrecorded. */
+    double cacheHitRate = -1.0;
     /** Flat profiler metrics; empty when the run was not profiled. */
     std::vector<std::pair<std::string, double>> profileMetrics;
 
@@ -94,6 +101,15 @@ struct ResultsDoc
 
     /** Deterministic pretty-printed JSON (ends with a newline). */
     std::string toJson() const;
+
+    /**
+     * The same document as a single compact JSONL record (one line, no
+     * interior newlines, terminating "\n"). Field-for-field identical
+     * content to toJson() — fromJson() parses either — just formatted
+     * for append-only streams (tools/sweepd's results feed, where one
+     * record per completed job lets a consumer tail the file).
+     */
+    std::string toJsonLine() const;
 
     /** toJson() to @p path; throws std::runtime_error on I/O failure. */
     void save(const std::string &path) const;

@@ -38,7 +38,7 @@ struct Options
     // --scale ci: full run length (run-length effects — TCM quanta per
     // run, calibration probe windows — match the default scale) but half
     // the workload population, halving the wall-clock cost.
-    sim::ExperimentScale scale{50'000, 300'000, 4};
+    sim::ExperimentScale scale{50'000, 300'000, 4, {}};
     bool defaultScale = false;
     int jobs = 0;
     std::string outDir;
@@ -68,6 +68,17 @@ struct Options
     bool writeDrain = false;
     int drainHigh = 0;
     int drainLow = 0;
+    // Run every grid interval-sampled (sim/sampling.hpp defaults, or an
+    // explicit W:K[:WARMUP] spec). Claim verdicts must still pass on the
+    // sampled estimates — the CI leg behind the "sampling preserves the
+    // conclusions" contract — but the numbers legitimately differ from
+    // the full-run goldens, so --sampled excludes --baseline/--regold.
+    bool sampled = false;
+    sim::SamplingConfig samplingCfg; // applied to scale when sampled
+    // Additionally run the paper::sampling probe (the fig4 grid twice:
+    // full and sampled) and evaluate the sampling.* claims. Off by
+    // default: the probe roughly doubles the fig4 cost.
+    bool samplingProbe = false;
 };
 
 void
@@ -107,7 +118,17 @@ usage(std::FILE *out)
         "                       watermarks explicitly; with the default\n"
         "                       values (48:16) the results are\n"
         "                       bit-identical to leaving the flag off,\n"
-        "                       which CI enforces against the goldens\n");
+        "                       which CI enforces against the goldens\n"
+        "  --sampled[=W:K[:WARMUP]]\n"
+        "                       run every grid interval-sampled (default\n"
+        "                       30k warmup + 3x14k windows); the claim\n"
+        "                       verdicts must still pass on the sampled\n"
+        "                       estimates. Excludes --baseline/--regold\n"
+        "                       (sampled numbers are not the goldens')\n"
+        "  --sampling-probe     also run the fig4 grid sampled and\n"
+        "                       evaluate the sampling.* claims (error\n"
+        "                       bands, ordering preservation, speedup);\n"
+        "                       reuses the full fig4 grid already run\n");
 }
 
 bool
@@ -192,6 +213,21 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             }
             opt.writeDrain = true;
+        } else if (arg == "--sampled" ||
+                   arg.rfind("--sampled=", 0) == 0) {
+            opt.sampled = true;
+            opt.samplingCfg.enabled = true;
+            if (arg.rfind("--sampled=", 0) == 0) {
+                std::string err;
+                opt.samplingCfg = sim::SamplingConfig::parse(
+                    arg.substr(std::strlen("--sampled=")), &err);
+                if (!opt.samplingCfg.enabled) {
+                    std::fprintf(stderr, "claims: %s\n", err.c_str());
+                    return false;
+                }
+            }
+        } else if (arg == "--sampling-probe") {
+            opt.samplingProbe = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             std::exit(0);
@@ -203,6 +239,20 @@ parseArgs(int argc, char **argv, Options &opt)
     }
     if (opt.regold && opt.baselineDir.empty()) {
         std::fprintf(stderr, "claims: --regold requires --baseline DIR\n");
+        return false;
+    }
+    if (opt.sampled && !opt.baselineDir.empty()) {
+        std::fprintf(stderr,
+                     "claims: --sampled excludes --baseline/--regold "
+                     "(sampled estimates legitimately differ from the "
+                     "full-run goldens)\n");
+        return false;
+    }
+    if (opt.sampled && opt.samplingProbe) {
+        std::fprintf(stderr,
+                     "claims: --sampling-probe needs the full-run grids "
+                     "(drop --sampled; the probe runs the sampled leg "
+                     "itself)\n");
         return false;
     }
     return true;
@@ -253,10 +303,33 @@ main(int argc, char **argv)
             return c.id == "perf.intra_parallel_speedup";
         });
     }
+    // The sampling.* claims read the paper::sampling probe document,
+    // which only --sampling-probe produces (the probe re-runs the fig4
+    // grid sampled, roughly doubling that grid's cost).
+    if (!opt.samplingProbe) {
+        std::erase_if(registry, [](const sim::claims::Claim &c) {
+            return c.id.rfind("sampling.", 0) == 0;
+        });
+    }
     if (opt.list) {
         for (const sim::claims::Claim &c : registry)
             std::printf("%-32s %s\n", c.id.c_str(), c.description.c_str());
         return 0;
+    }
+
+    if (opt.sampled) {
+        opt.scale.sampling = opt.samplingCfg;
+        // Fine-margin MS claims need the full horizon (see
+        // Claim::fullHorizonOnly); every claim that survives this
+        // filter must pass on the sampled documents.
+        std::size_t before = registry.size();
+        std::erase_if(registry, [](const sim::claims::Claim &c) {
+            return c.fullHorizonOnly;
+        });
+        std::fprintf(stderr,
+                     "claims: sampled leg skips %zu full-horizon-only "
+                     "claim(s) (fine-margin MS comparisons)\n",
+                     before - registry.size());
     }
 
     sim::SystemConfig config;
@@ -271,20 +344,22 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr,
                  "claims: scale %s (warmup %llu, measure %llu, %d "
-                 "workloads/category)%s, %d worker lane(s)\n",
+                 "workloads/category)%s, %d worker lane(s), sampling %s\n",
                  opt.defaultScale ? "default" : "ci",
                  static_cast<unsigned long long>(opt.scale.warmup),
                  static_cast<unsigned long long>(opt.scale.measure),
                  opt.scale.workloadsPerCategory,
                  opt.perCycle ? ", per-cycle oracle" : "",
-                 opt.intraParallel);
+                 opt.intraParallel,
+                 opt.scale.sampling.describe().c_str());
 
     std::vector<sim::results::ResultsDoc> docs;
-    // The intra-parallel speedup doc carries wall-clock timings, which
-    // legitimately vary run to run and across machines — it feeds the
-    // claim registry and is written to --out for inspection, but is
-    // never diffed against (or regolded into) the baselines.
-    sim::results::ResultsDoc timingDoc;
+    // The intra-parallel speedup and sampling-probe docs carry
+    // wall-clock timings, which legitimately vary run to run and across
+    // machines — they feed the claim registry and are written to --out
+    // for inspection, but are never diffed against (or regolded into)
+    // the baselines.
+    std::vector<sim::results::ResultsDoc> timingDocs;
     try {
         std::fprintf(stderr, "claims: running fig4 grid...\n");
         docs.push_back(sim::paper::fig4(config, opt.scale, opt.jobs));
@@ -296,7 +371,16 @@ main(int argc, char **argv)
         docs.push_back(sim::paper::zoo(config, opt.scale, opt.jobs));
         std::fprintf(stderr,
                      "claims: running intra-parallel speedup...\n");
-        timingDoc = sim::paper::intraParallel(config, opt.scale);
+        timingDocs.push_back(sim::paper::intraParallel(config, opt.scale));
+        if (opt.samplingProbe) {
+            std::fprintf(stderr,
+                         "claims: running sampling probe (sampled fig4 "
+                         "grid)...\n");
+            // docs[0] is the fig4 document just produced at this exact
+            // scale/config — the probe reuses it as the full-run leg.
+            timingDocs.push_back(sim::paper::sampling(
+                config, opt.scale, opt.jobs, &docs[0]));
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "claims: experiment failed: %s\n", e.what());
         return 1;
@@ -305,7 +389,8 @@ main(int argc, char **argv)
     sim::claims::ResultSet set;
     for (const sim::results::ResultsDoc &doc : docs)
         set.add(doc);
-    set.add(timingDoc);
+    for (const sim::results::ResultsDoc &doc : timingDocs)
+        set.add(doc);
 
     std::vector<sim::claims::Outcome> outcomes =
         sim::claims::evaluateAll(registry, set);
@@ -318,7 +403,8 @@ main(int argc, char **argv)
         std::vector<const sim::results::ResultsDoc *> outDocs;
         for (const sim::results::ResultsDoc &doc : docs)
             outDocs.push_back(&doc);
-        outDocs.push_back(&timingDoc);
+        for (const sim::results::ResultsDoc &doc : timingDocs)
+            outDocs.push_back(&doc);
         for (const sim::results::ResultsDoc *doc : outDocs) {
             std::string path = docFile(opt.outDir, *doc);
             try {

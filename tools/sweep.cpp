@@ -18,6 +18,14 @@
  *     --cycles N          measured cycles (default 300000)
  *     --warmup N          warmup cycles (default 50000)
  *     --seed N            base seed (default 1)
+ *     --sample W:K[:WARMUP]
+ *                         interval sampling (sim/sampling.hpp): simulate
+ *                         WARMUP (default 30000) + K windows of W cycles
+ *                         instead of the full --warmup/--cycles run, with
+ *                         scheduler time constants still scaled to the
+ *                         full --cycles so the sampled run is a prefix
+ *                         slice of the full run's dynamics. Rows keep
+ *                         the same columns, carrying sampled estimates
  *     --jobs N            worker threads (default: TCMSIM_JOBS, else all
  *                         hardware threads; 1 = serial)
  *     --protocol NAME     DRAM protocol preset (ddr2-800, ddr3-1333,
@@ -98,6 +106,7 @@ main(int argc, char **argv)
     Cycle warmup = 50'000;
     std::uint64_t seed = 1;
     int jobs = 0;
+    sim::SamplingConfig sampling;
     std::string protocol;
     bool check = false;
     std::string telemetryDir;
@@ -129,6 +138,12 @@ main(int argc, char **argv)
             warmup = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sample") {
+            std::string err;
+            sampling = sim::SamplingConfig::parse(value(), &err);
+            if (!sampling.enabled)
+                die(err.c_str());
+        }
         else if (arg == "--jobs")
             jobs = std::atoi(value());
         else if (arg == "--protocol")
@@ -177,8 +192,9 @@ main(int argc, char **argv)
     scale.measure = cycles;
     scale.warmup = warmup;
     scale.workloadsPerCategory = workloads;
+    scale.sampling = sampling;
 
-    sim::AloneIpcCache cache(config, scale.warmup, scale.measure);
+    sim::AloneIpcCache cache(config, scale.effectiveWarmup(), scale.effectiveMeasure());
 
     std::vector<sched::SchedulerSpec> specs(schedulerNames.size());
     for (std::size_t s = 0; s < schedulerNames.size(); ++s) {
